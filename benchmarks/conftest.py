@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Benches run the reduced (``fast``) search budget by default so the whole
+suite finishes in CI time; set ``REPRO_FULL=1`` to regenerate every
+artifact at the paper's full settings (several minutes per bench).
+
+Each bench prints the regenerated table/figure rows, so running with
+``pytest benchmarks/ --benchmark-only -s`` (or capturing the output file)
+reproduces the paper artifacts alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    if os.environ.get("REPRO_FULL"):
+        return ExperimentConfig.full()
+    return ExperimentConfig.fast()

@@ -1,0 +1,18 @@
+"""Bench: Sec. V-E time-partitioning ablation (nsplits sweep)."""
+
+import os
+
+from repro.experiments import run_nsplits_ablation
+
+
+def test_ablation_nsplits(benchmark, config):
+    values = (1, 2, 3, 4, 5) if os.environ.get("REPRO_FULL") else (1, 2, 3)
+    result = benchmark.pedantic(
+        lambda: run_nsplits_ablation(config, values=values),
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert set(result.edps) == set(values)
+    # Time windowing should help at least somewhere in the sweep
+    # (the paper reports 1.25x average reduction up to nsplits=4).
+    best = min(result.edps.values())
+    assert best <= result.edps[values[0]]

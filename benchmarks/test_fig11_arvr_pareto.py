@@ -1,0 +1,19 @@
+"""Bench: Fig. 11 -- AR/VR Pareto fronts (scenarios 6, 7, 8, 10)."""
+
+import os
+
+from repro.experiments import run_fig11
+from repro.experiments.pareto import run_pareto
+
+
+def test_fig11_arvr_pareto(benchmark, config):
+    if os.environ.get("REPRO_FULL"):
+        runner = lambda: run_fig11(config)  # noqa: E731
+    else:
+        runner = lambda: run_pareto((8, 10), config,  # noqa: E731
+                                    searches=("edp",))
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print("\n" + result.render())
+    for scenario_id in result.scenario_ids:
+        for strategy in result.strategies:
+            assert result.points[(scenario_id, strategy)]

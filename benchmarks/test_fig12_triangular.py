@@ -1,0 +1,16 @@
+"""Bench: Fig. 12 -- triangular-NoP topology ablation (scenarios 3, 4)."""
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_triangular(benchmark, config):
+    result = benchmark.pedantic(lambda: run_fig12(config),
+                                rounds=1, iterations=1)
+    print("\n" + result.render())
+    # Paper shape: performance patterns mirror the mesh results --
+    # homogeneous NVDLA ahead on the LM-heavy scenario 3.
+    normed3 = result.normalized_edp(3)
+    assert normed3["simba_t_nvd"] < normed3["simba_t_shi"]
+    # Het-T beats the weaker homogeneous triangular option on scenario 4.
+    normed4 = result.normalized_edp(4)
+    assert normed4["het_t"] < normed4["simba_t_shi"]

@@ -1,0 +1,22 @@
+"""Bench: Fig. 13 -- 6x6 MCM scaling with evolutionary SEG search.
+
+The runner switches the SEG engine to the GA (population 10, generations
+4 at full settings) for 6x6 templates automatically.  The fast bench runs
+nsplits=2 only; REPRO_FULL also runs nsplits=3 as in the paper.
+"""
+
+import os
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_6x6(benchmark, config):
+    nsplit_values = (2, 3) if os.environ.get("REPRO_FULL") else (2,)
+    result = benchmark.pedantic(
+        lambda: run_fig13(config, nsplit_values=nsplit_values),
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+    for nsplits in nsplit_values:
+        # Paper: Het-Cross achieves a large EDP reduction over Simba-6
+        # (Shi); 2.3x at nsplits=2 in the paper.
+        assert result.reduction_vs("het_cross", "simba6_shi", nsplits) > 1.0

@@ -1,0 +1,13 @@
+"""Bench: Fig. 2 motivational study (2x2 heterogeneous MCM)."""
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_motivational(benchmark, config):
+    result = benchmark.pedantic(lambda: run_fig2(config.budget),
+                                rounds=1, iterations=1)
+    print("\n" + result.render())
+    # Shape checks mirroring the paper's panel.
+    assert result.single_ratios["A3_scar_het"] < 1.0
+    assert min(result.multi_ratios["B2_scar_spatial"],
+               result.multi_ratios["B3_scar_temporal"]) < 1.0

@@ -1,0 +1,31 @@
+"""Bench: Fig. 7 -- 3x3 (search target x evaluation metric) grid.
+
+The full figure sweeps scenarios 1-5 under three search targets; the fast
+bench restricts to scenarios 1 and 4 (the light and heavy extremes) to
+keep runtime bounded while preserving the figure's structure.
+"""
+
+import os
+
+from repro.experiments import run_datacenter
+
+
+def test_fig7_search_grid(benchmark, config):
+    scenario_ids = (1, 2, 3, 4, 5) if os.environ.get("REPRO_FULL") \
+        else (1, 4)
+    result = benchmark.pedantic(
+        lambda: run_datacenter(config, scenario_ids=scenario_ids),
+        rounds=1, iterations=1)
+    print("\n" + result.render_fig7())
+    # Matching-criteria diagonal exists and normalizes to the baseline.
+    for search in ("latency", "energy", "edp"):
+        grid = result.normalized_grid(search, search)
+        assert grid["stand_nvd"][scenario_ids[0]] == 1.0
+    # Latency search produces no-slower schedules than the energy search
+    # when evaluated on latency (sanity of objective plumbing).
+    for scenario_id in scenario_ids:
+        lat_search = result.value("simba_nvd", scenario_id, "latency",
+                                  "latency")
+        energy_search = result.value("simba_nvd", scenario_id, "energy",
+                                     "latency")
+        assert lat_search <= energy_search * 1.25

@@ -1,0 +1,27 @@
+"""Bench: Fig. 8 -- datacenter Pareto fronts (scenarios 3 and 4)."""
+
+import os
+
+from repro.experiments import run_fig8
+from repro.experiments.pareto import run_pareto
+
+
+def test_fig8_pareto(benchmark, config):
+    if os.environ.get("REPRO_FULL"):
+        runner = lambda: run_fig8(config)  # noqa: E731
+    else:
+        runner = lambda: run_pareto(  # noqa: E731
+            (3, 4), config, searches=("latency", "edp"))
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print("\n" + result.render())
+    for scenario_id in result.scenario_ids:
+        global_front = result.global_front(scenario_id)
+        assert global_front
+        # No evaluated point may dominate a global-front point.
+        all_points = [p for s in result.strategies
+                      for p in result.points[(scenario_id, s)]]
+        for point in global_front:
+            assert not any(
+                q[0] <= point[0] and q[1] <= point[1]
+                and (q[0] < point[0] or q[1] < point[1])
+                for q in all_points)

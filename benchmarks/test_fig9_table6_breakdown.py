@@ -1,0 +1,28 @@
+"""Bench: Fig. 9 / Table VI -- Het-Sides Scenario-4 schedule breakdown.
+
+Uses the paper's nsplits=4 (five candidate windows) regardless of the
+fast/full budget so the breakdown table has the paper's shape.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import run_breakdown
+from repro.workloads import scenario
+
+
+def test_fig9_table6_breakdown(benchmark, config):
+    cfg = replace(config, nsplits=4)
+    result = benchmark.pedantic(
+        lambda: run_breakdown(scenario_id=4, strategy="het_sides",
+                              config=cfg),
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+    sc = scenario(4)
+    # Every model's layers are fully accounted for.
+    for inst in sc:
+        assert sum(result.per_model_layers[inst.name]) == inst.num_layers
+    # Paper: the small ResNet-50 workload finishes in the early windows
+    # while the LMs dominate the later ones (anti-starvation packing).
+    resnet = result.per_model_layers["resnet50"]
+    assert resnet[0] > 0
+    assert sum(resnet[:2]) >= sum(resnet) // 2

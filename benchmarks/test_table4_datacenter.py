@@ -1,0 +1,20 @@
+"""Bench: Table IV -- datacenter latency/EDP search, scenarios 1-5."""
+
+from repro.experiments import run_datacenter
+from repro.experiments.datacenter import SEARCHES_TABLE4
+
+
+def test_table4_datacenter(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_datacenter(config, searches=SEARCHES_TABLE4),
+        rounds=1, iterations=1)
+    print("\n" + result.render_table4())
+    # Paper shape: on the LM-dominated scenarios 1-3, homogeneous NVDLA
+    # strategies dominate the Shi-diannao ones in EDP.
+    for scenario_id in (1, 2, 3):
+        assert result.value("simba_nvd", scenario_id, "edp", "edp") \
+            < result.value("simba_shi", scenario_id, "edp", "edp")
+    # Het-Sides beats Het-CB on the heavy scenarios (paper insight #3).
+    for scenario_id in (4, 5):
+        assert result.value("het_sides", scenario_id, "edp", "edp") \
+            < result.value("het_cb", scenario_id, "edp", "edp")

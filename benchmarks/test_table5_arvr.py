@@ -1,0 +1,22 @@
+"""Bench: Table V / Fig. 10 -- AR/VR (XRBench) EDP search, scenarios 6-10."""
+
+from repro.experiments import run_arvr
+
+
+def test_table5_arvr(benchmark, config):
+    result = benchmark.pedantic(lambda: run_arvr(config),
+                                rounds=1, iterations=1)
+    print("\n" + result.render())
+    rel = result.relative("edp")
+    # Paper shape: scenario 9 (EyeCod/Hand/Sp2Dense, conv-heavy) favors
+    # Shi-style hardware over standalone NVDLA.
+    assert rel["stand_shi"][9] < 1.0
+    # Heterogeneous strategies beat the homogeneous average on the
+    # conv-heavy scenarios.
+    for scenario_id in (9, 10):
+        avg = (rel["simba_nvd"][scenario_id]
+               + rel["simba_shi"][scenario_id]) / 2
+        assert rel["het_sides"][scenario_id] <= avg * 1.1
+    print(f"\nhet_sides mean EDP improvement vs stand_nvd: "
+          f"{result.average_improvement('het_sides') * 100:.1f}% "
+          f"(paper: 17%)")

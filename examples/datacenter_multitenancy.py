@@ -1,0 +1,50 @@
+"""Datacenter multi-tenancy: compare MCM strategies on Scenario 4.
+
+Reproduces a slice of the paper's Table IV workflow: the heavy MLPerf
+scenario (GPT-L b8 + BERT-L b24 + U-Net b1 + ResNet-50 b32) scheduled on
+every core 3x3 strategy under the EDP search, reported normalized to the
+standalone NVDLA baseline.
+
+Run:  python examples/datacenter_multitenancy.py
+"""
+
+from repro.experiments import (
+    CORE_STRATEGIES,
+    ExperimentConfig,
+    ExperimentRunner,
+    format_table,
+    normalize,
+)
+from repro.workloads import scenario
+
+
+def main() -> None:
+    sc = scenario(4)
+    print(sc.summary())
+    print()
+
+    runner = ExperimentRunner(ExperimentConfig.fast())
+    runs = runner.run_many(sc, CORE_STRATEGIES, objective="edp")
+
+    edps = {name: run.edp for name, run in runs.items()}
+    latencies = {name: run.latency_s for name, run in runs.items()}
+    normed = normalize(edps, "stand_nvd")
+
+    rows = [
+        (name, latencies[name], runs[name].energy_j, edps[name],
+         normed[name])
+        for name in CORE_STRATEGIES
+    ]
+    print(format_table(
+        ("strategy", "latency (s)", "energy (J)", "EDP (J.s)",
+         "EDP x stand_nvd"),
+        rows, title="Scenario 4, EDP search (3x3 MCMs)"))
+
+    best = min(edps, key=edps.get)
+    print(f"\nbest strategy: {best} "
+          f"({edps['stand_nvd'] / edps[best]:.2f}x better than "
+          "standalone NVDLA)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that `pip install -e .` works in offline environments whose
+setuptools lacks PEP 660 editable-wheel support (no `wheel` package).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""Command-line interface: ``scar <experiment>`` / ``python -m repro``.
+
+Regenerates any paper table/figure from the terminal::
+
+    scar table4 --fast          # Table IV on the reduced budget
+    scar fig9                   # Fig. 9 / Table VI breakdown
+    scar schedule --scenario 4 --template het_sides_3x3
+    scar list                   # available experiments
+
+``--fast`` uses the CI budget (seconds-to-minutes); the default budget
+matches the paper's settings and can take several minutes per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_arvr,
+    run_breakdown,
+    run_datacenter,
+    run_fig2,
+    run_fig8,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_nsplits_ablation,
+    run_packing_ablation,
+    run_prov_ablation,
+)
+
+_EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
+    "fig2": ("Fig. 2 motivational 2x2 study",
+             lambda cfg: run_fig2(cfg.budget).render()),
+    "table4": ("Table IV datacenter latency/EDP search",
+               lambda cfg: run_datacenter(cfg).render_table4()),
+    "fig7": ("Fig. 7 normalized search grid",
+             lambda cfg: run_datacenter(cfg).render_fig7()),
+    "fig8": ("Fig. 8 datacenter Pareto fronts",
+             lambda cfg: run_fig8(cfg).render()),
+    "fig9": ("Fig. 9 / Table VI Het-Sides schedule breakdown",
+             lambda cfg: run_breakdown(config=cfg).render()),
+    "table5": ("Table V / Fig. 10 AR-VR EDP search",
+               lambda cfg: run_arvr(cfg).render()),
+    "fig11": ("Fig. 11 AR/VR Pareto fronts",
+              lambda cfg: run_fig11(cfg).render()),
+    "fig12": ("Fig. 12 triangular-NoP ablation",
+              lambda cfg: run_fig12(cfg).render()),
+    "fig13": ("Fig. 13 6x6 evolutionary scaling",
+              lambda cfg: run_fig13(cfg).render()),
+    "abl-nsplits": ("Time-partitioning ablation",
+                    lambda cfg: run_nsplits_ablation(cfg).render()),
+    "abl-prov": ("Rule-based vs exhaustive PROV ablation",
+                 lambda cfg: run_prov_ablation(cfg).render()),
+    "abl-packing": ("Greedy vs uniform packing ablation",
+                    lambda cfg: run_packing_ablation(cfg).render()),
+}
+
+
+def _cmd_list() -> int:
+    for name, (description, _) in _EXPERIMENTS.items():
+        print(f"{name:12s} {description}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import SCARScheduler, objective_by_name
+    from repro.mcm import templates
+    from repro.workloads import scenario
+
+    sc = scenario(args.scenario)
+    mcm = templates.build(args.template, sc.use_case)
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    scheduler = SCARScheduler(mcm,
+                              objective=objective_by_name(args.objective),
+                              nsplits=config.nsplits, budget=config.budget)
+    result = scheduler.schedule(sc)
+    print(mcm.summary())
+    print(sc.summary())
+    print(result.schedule.describe(sc))
+    print(result.metrics.summary())
+    if args.output:
+        from repro.config import save_json, schedule_to_dict
+        save_json(schedule_to_dict(result.schedule), args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scar",
+        description="SCAR reproduction: regenerate paper experiments.")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    sched = sub.add_parser("schedule",
+                           help="schedule one scenario on one template")
+    sched.add_argument("--scenario", type=int, default=4,
+                       help="Table III scenario id (1-10)")
+    sched.add_argument("--template", default="het_sides_3x3",
+                       help="MCM template name")
+    sched.add_argument("--objective", default="edp",
+                       choices=("latency", "energy", "edp"))
+    sched.add_argument("--output", default=None,
+                       help="write the schedule JSON here")
+    sched.add_argument("--fast", action="store_true",
+                       help="use the reduced search budget")
+
+    for name, (description, _) in _EXPERIMENTS.items():
+        exp = sub.add_parser(name, help=description)
+        exp.add_argument("--fast", action="store_true",
+                         help="use the reduced search budget")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        return _cmd_list()
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    _, runner = _EXPERIMENTS[args.command]
+    print(runner(config))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Config-file round-trips for MCMs, scenarios and schedules."""
+
+from repro.config.files import (
+    load_json,
+    mcm_from_dict,
+    mcm_to_dict,
+    save_json,
+    scenario_from_dict,
+    scenario_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "load_json", "mcm_from_dict", "mcm_to_dict", "save_json",
+    "scenario_from_dict", "scenario_to_dict", "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,53 @@
+"""Search budget knobs shared by the SEG and SCHED engines.
+
+The paper runs an exhaustive search over its heuristic-reduced space for
+3x3 MCMs; this reproduction exposes the same heuristics (top-k
+segmentation, sampled tree roots) with explicit caps so that experiment
+runtime is bounded and deterministic.  Defaults are generous enough that
+3x3 searches cover the heuristic space effectively exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Deterministic caps for the per-window search.
+
+    ``top_k_segmentations``        Heuristic 1's k: candidates kept per model.
+    ``max_segment_candidates``     segmentations enumerated per model before
+                                   ranking (sampled beyond this count).
+    ``max_root_combos``            scheduling trees explored (root-position
+                                   combinations across models).
+    ``max_paths_per_model``        DFS paths kept per model per tree.
+    ``max_candidates_per_window``  fully-evaluated window schedules.
+    ``seed``                       RNG seed for any sampling.
+    """
+
+    top_k_segmentations: int = 3
+    max_segment_candidates: int = 128
+    max_root_combos: int = 24
+    max_paths_per_model: int = 12
+    max_candidates_per_window: int = 400
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("top_k_segmentations", "max_segment_candidates",
+                     "max_root_combos", "max_paths_per_model",
+                     "max_candidates_per_window"):
+            if getattr(self, name) < 1:
+                raise SearchError(f"{name} must be >= 1")
+
+
+#: Reduced budget for quick tests and CI benches.
+QUICK_BUDGET = SearchBudget(
+    top_k_segmentations=2,
+    max_segment_candidates=32,
+    max_root_combos=8,
+    max_paths_per_model=6,
+    max_candidates_per_window=96,
+)

@@ -1,0 +1,114 @@
+"""Provisioner engine (PROV, Sec. IV-B).
+
+Estimates how many chiplet *nodes* each model receives in a time window.
+PROV is dataflow-agnostic ("we refer to chiplets in this state as nodes").
+Two modes are provided, as in the paper:
+
+* **uniform rule** (Eq. 2): nodes proportional to each model's expected
+  share of the optimization metric, with every present model guaranteed at
+  least one node;
+* **exhaustive**: every composition of the chiplet budget over the
+  window's models (used by the Sec. V-E PROV ablation).
+
+Heuristic 2 (node-allocation constraint) caps the nodes granted to models
+with disproportionately many cheap layers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from repro.core.packing import WindowAssignment
+from repro.errors import SchedulingError
+
+
+def _bounded(count: int, model: int, window: WindowAssignment,
+             max_nodes_per_model: int | None) -> int:
+    layer_range = window.range_for(model)
+    assert layer_range is not None
+    num_layers = layer_range[1] - layer_range[0]
+    bound = num_layers
+    if max_nodes_per_model is not None:
+        bound = min(bound, max_nodes_per_model)
+    return max(1, min(count, bound))
+
+
+def uniform_allocation(window: WindowAssignment,
+                       expected_share: dict[int, float], num_chiplets: int,
+                       max_nodes_per_model: int | None = None) -> dict[int, int]:
+    """Eq. (2): ``N_i = round(E(P_i) / sum_j E(P_j) * |C|)``, floor 1.
+
+    ``expected_share[m]`` is model ``m``'s expected optimization-metric
+    mass in this window (e.g. summed expected latency).  Allocations are
+    clipped to the model's layer count and the optional Heuristic-2 cap,
+    then trimmed largest-first until the total fits the chiplet budget.
+    """
+    models = list(window.models)
+    if not models:
+        raise SchedulingError("window has no models to provision")
+    if num_chiplets < len(models):
+        raise SchedulingError(
+            f"{num_chiplets} chiplets cannot host {len(models)} models")
+    def clean(value: float) -> float:
+        # Custom objectives may score inf/NaN; such shares cannot drive
+        # the proportional rule and fall back to zero (floor-1 applies).
+        import math
+        if not math.isfinite(value) or value < 0:
+            return 0.0
+        return value
+
+    total_share = sum(clean(expected_share.get(m, 0.0)) for m in models)
+    alloc: dict[int, int] = {}
+    for model in models:
+        share = clean(expected_share.get(model, 0.0))
+        raw = round(share / total_share * num_chiplets) if total_share else 1
+        alloc[model] = _bounded(raw, model, window, max_nodes_per_model)
+    # Trim overshoot: repeatedly shrink the largest allocation.
+    while sum(alloc.values()) > num_chiplets:
+        victim = max(alloc, key=lambda m: (alloc[m], m))
+        if alloc[victim] == 1:
+            raise SchedulingError(
+                "cannot trim allocation below one node per model")
+        alloc[victim] -= 1
+    return alloc
+
+
+def exhaustive_allocations(window: WindowAssignment, num_chiplets: int,
+                           max_nodes_per_model: int | None = None,
+                           limit: int | None = None) -> Iterator[dict[int, int]]:
+    """All node compositions over the window's models (Sec. V-E ablation).
+
+    Yields every assignment with one-or-more nodes per model and a total of
+    at most ``num_chiplets``, respecting layer-count and Heuristic-2 caps.
+    ``limit`` bounds the number of yielded compositions.
+    """
+    models = list(window.models)
+    if num_chiplets < len(models):
+        raise SchedulingError(
+            f"{num_chiplets} chiplets cannot host {len(models)} models")
+    caps = {m: _bounded(num_chiplets, m, window, max_nodes_per_model)
+            for m in models}
+
+    yielded = 0
+
+    def rec(idx: int, remaining: int,
+            current: dict[int, int]) -> Iterator[dict[int, int]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if idx == len(models):
+            yielded += 1
+            yield dict(current)
+            return
+        model = models[idx]
+        models_left = len(models) - idx - 1
+        upper = min(caps[model], remaining - models_left)
+        for count in range(1, upper + 1):
+            current[model] = count
+            yield from rec(idx + 1, remaining - count, current)
+            if limit is not None and yielded >= limit:
+                return
+        current.pop(model, None)
+
+    yield from rec(0, num_chiplets, {})

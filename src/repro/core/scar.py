@@ -1,0 +1,222 @@
+"""SCAR scheduler facade (Fig. 4): the four engines wired together.
+
+``SCARScheduler.schedule(scenario)`` runs the full multi-tiered search:
+
+1. **MCM-Reconfig** -- offline expected layer costs (Eq. 1), periodic time
+   windows, greedy layer packing (Algorithm 1, or the uniform baseline).
+2. **PROV** -- per-window node allocation (Eq. 2 uniform rule, or
+   exhaustive composition enumeration).
+3. **SEG** -- top-k segmentation candidates per model (Heuristic 1), with
+   the optional Heuristic-2 node-allocation constraint.
+4. **SCHED** -- scheduling-tree placement search with full cost-model
+   evaluation (or the evolutionary variant for large MCMs).
+
+The result carries the chosen schedule, its metrics and the whole
+evaluated population, which the Pareto/top-candidate figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.budget import SearchBudget
+from repro.core.evolutionary import EvolutionarySegSearch, GAConfig
+from repro.core.metrics import ScheduleEvaluator, ScheduleMetrics
+from repro.core.packing import (
+    PackingPlan,
+    WindowAssignment,
+    expected_layer_energies,
+    expected_layer_latencies,
+    greedy_pack,
+    uniform_pack,
+)
+from repro.core.provisioner import exhaustive_allocations, uniform_allocation
+from repro.core.schedule import Schedule
+from repro.core.scoring import Objective, edp_objective
+from repro.core.sched_engine import WindowCandidate, search_window
+from repro.core.segmentation import RankedSegmentation, rank_segmentations
+from repro.dataflow.database import LayerCostDatabase
+from repro.errors import SearchError
+from repro.mcm.package import MCM
+from repro.workloads.model import Scenario
+
+
+@dataclass(frozen=True)
+class SCARResult:
+    """Everything a scheduling run produced."""
+
+    schedule: Schedule
+    metrics: ScheduleMetrics
+    plan: PackingPlan
+    window_candidates: tuple[tuple[WindowCandidate, ...], ...]
+    num_evaluated: int
+
+    def candidate_points(self) -> list[tuple[float, float]]:
+        """(latency_s, energy_j) of assembled candidate schedules.
+
+        Candidate schedules are formed by combining same-rank window
+        candidates across windows (rank 0 = the chosen schedule); used for
+        the Pareto scatter figures.
+        """
+        if not self.window_candidates:
+            return [(self.metrics.latency_s, self.metrics.energy_j)]
+        ranked_per_window = [
+            sorted(cands, key=lambda c: c.score)
+            for cands in self.window_candidates
+        ]
+        depth = min(len(r) for r in ranked_per_window)
+        points = []
+        for rank in range(depth):
+            latency = sum(r[rank].metrics.latency_s
+                          for r in ranked_per_window)
+            energy = sum(r[rank].metrics.energy_j
+                         for r in ranked_per_window)
+            points.append((latency, energy))
+        return points
+
+
+class SCARScheduler:
+    """The SCAR multi-model scheduler for one MCM configuration.
+
+    Parameters mirror the paper's hyperparameters:
+
+    ``nsplits``              time-window split count (default 4 -> 5 windows).
+    ``objective``            Latency / Energy / EDP search (default EDP).
+    ``budget``               search caps (see :class:`SearchBudget`).
+    ``packing``              ``"greedy"`` (Algorithm 1) or ``"uniform"``.
+    ``provisioning``         ``"uniform"`` (Eq. 2) or ``"exhaustive"``.
+    ``max_nodes_per_model``  Heuristic-2 node-allocation constraint.
+    ``seg_search``           ``"enumerative"`` or ``"evolutionary"``.
+    """
+
+    def __init__(self, mcm: MCM, *, objective: Objective | None = None,
+                 nsplits: int = 4, budget: SearchBudget | None = None,
+                 database: LayerCostDatabase | None = None,
+                 packing: str = "greedy", provisioning: str = "uniform",
+                 max_nodes_per_model: int | None = None,
+                 seg_search: str = "enumerative",
+                 ga_config: GAConfig | None = None,
+                 prov_limit: int = 64) -> None:
+        if packing not in ("greedy", "uniform"):
+            raise SearchError(f"unknown packing mode {packing!r}")
+        if provisioning not in ("uniform", "exhaustive"):
+            raise SearchError(f"unknown provisioning mode {provisioning!r}")
+        if seg_search not in ("enumerative", "evolutionary"):
+            raise SearchError(f"unknown seg_search mode {seg_search!r}")
+        self.mcm = mcm
+        self.objective = objective or edp_objective()
+        self.nsplits = nsplits
+        self.budget = budget or SearchBudget()
+        self.database = database or LayerCostDatabase(clock_hz=mcm.clock_hz)
+        self.packing = packing
+        self.provisioning = provisioning
+        self.max_nodes_per_model = max_nodes_per_model
+        self.seg_search = seg_search
+        self.ga_config = ga_config
+        self.prov_limit = prov_limit
+
+    # -- public API ------------------------------------------------------------
+
+    def schedule(self, scenario: Scenario) -> SCARResult:
+        """Run the full SCAR search on ``scenario``."""
+        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database)
+        expected_lat = expected_layer_latencies(scenario, self.mcm,
+                                                self.database)
+        expected_en = expected_layer_energies(scenario, self.mcm,
+                                              self.database)
+        if self.packing == "greedy":
+            plan = greedy_pack(scenario, expected_lat, self.nsplits)
+        else:
+            plan = uniform_pack(scenario, self.nsplits)
+
+        best_windows: list[WindowCandidate] = []
+        all_candidates: list[tuple[WindowCandidate, ...]] = []
+        num_evaluated = 0
+        for window in plan.windows:
+            collected: list[WindowCandidate] = []
+            best = self._search_one_window(
+                scenario, window, expected_lat, expected_en, evaluator,
+                collected)
+            best_windows.append(best)
+            all_candidates.append(tuple(collected))
+            num_evaluated += len(collected)
+
+        schedule = Schedule(windows=tuple(
+            candidate.window for candidate in best_windows))
+        metrics = evaluator.evaluate(schedule)
+        return SCARResult(schedule=schedule, metrics=metrics, plan=plan,
+                          window_candidates=tuple(all_candidates),
+                          num_evaluated=num_evaluated)
+
+    # -- engine plumbing ----------------------------------------------------------
+
+    def _window_shares(self, window: WindowAssignment,
+                       expected_lat: list[list[float]],
+                       expected_en: list[list[float]]) -> dict[int, float]:
+        """E(P_i) per model for the PROV rule, under the search objective.
+
+        The latency-bound constraint (if any) applies to schedules, not to
+        provisioning shares, so it is stripped here -- otherwise a heavy
+        model's expected cost could score ``inf`` and break Eq. (2).
+        """
+        from dataclasses import replace
+        unbounded = replace(self.objective, latency_bound_s=None)
+        shares: dict[int, float] = {}
+        for model, start, stop in window.ranges:
+            lat = sum(expected_lat[model][start:stop])
+            energy = sum(expected_en[model][start:stop])
+            shares[model] = unbounded.score_values(lat, energy)
+        return shares
+
+    def _allocations(self, window: WindowAssignment,
+                     shares: dict[int, float]) -> list[dict[int, int]]:
+        if self.provisioning == "uniform":
+            return [uniform_allocation(window, shares,
+                                       self.mcm.num_chiplets,
+                                       self.max_nodes_per_model)]
+        return list(exhaustive_allocations(window, self.mcm.num_chiplets,
+                                           self.max_nodes_per_model,
+                                           limit=self.prov_limit))
+
+    def _rank_for_window(self, scenario: Scenario, window: WindowAssignment,
+                         alloc: dict[int, int],
+                         expected_lat: list[list[float]]
+                         ) -> dict[int, list[RankedSegmentation]]:
+        ranked: dict[int, list[RankedSegmentation]] = {}
+        for model, start, stop in window.ranges:
+            instance = scenario[model]
+            boundary = [float(instance.layer(i).output_bytes)
+                        for i in range(start, stop)]
+            ranked[model] = rank_segmentations(
+                start, stop, alloc[model],
+                expected_lat[model][start:stop], instance.batch,
+                boundary, self.mcm.nop_gbps, self.budget)
+        return ranked
+
+    def _search_one_window(self, scenario: Scenario,
+                           window: WindowAssignment,
+                           expected_lat: list[list[float]],
+                           expected_en: list[list[float]],
+                           evaluator: ScheduleEvaluator,
+                           collected: list[WindowCandidate]
+                           ) -> WindowCandidate:
+        shares = self._window_shares(window, expected_lat, expected_en)
+        best: WindowCandidate | None = None
+        for alloc in self._allocations(window, shares):
+            ranked = self._rank_for_window(scenario, window, alloc,
+                                           expected_lat)
+            if self.seg_search == "evolutionary":
+                seeds = {m: [r.cuts for r in ranked[m]] for m in ranked}
+                search = EvolutionarySegSearch(
+                    window, alloc, evaluator, self.objective, self.budget,
+                    config=self.ga_config, seeds=seeds)
+                candidate = search.run()
+                collected.extend(search.evaluated)
+            else:
+                candidate = search_window(window, ranked, evaluator,
+                                          self.objective, self.budget,
+                                          collect=collected)
+            if best is None or candidate.score < best.score:
+                best = candidate
+        assert best is not None
+        return best

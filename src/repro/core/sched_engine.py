@@ -1,0 +1,147 @@
+"""Scheduling engine (SCHED, Sec. IV-D): per-window candidate search.
+
+Combines the SEG engine's top-k segmentations per model (Heuristic 1 step
+2) with scheduling-tree placements, builds concrete
+:class:`~repro.core.schedule.WindowSchedule` instances, evaluates each with
+the full heterogeneous MCM cost model and returns the best one (plus the
+evaluated population, which the Pareto figures consume).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.budget import SearchBudget
+from repro.core.metrics import ScheduleEvaluator, WindowMetrics
+from repro.core.packing import WindowAssignment
+from repro.core.schedule import Segment, WindowSchedule
+from repro.core.scoring import Objective
+from repro.core.sched_tree import NodeRank, Placement, placements
+from repro.core.segmentation import (
+    Cuts,
+    RankedSegmentation,
+    segments_from_cuts,
+)
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class WindowCandidate:
+    """One fully evaluated window schedule."""
+
+    window: WindowSchedule
+    metrics: WindowMetrics
+    score: float
+
+
+def build_window_schedule(window: WindowAssignment,
+                          cuts_by_model: dict[int, Cuts],
+                          placement: Placement) -> WindowSchedule:
+    """Materialize a WindowSchedule from cuts + chiplet paths."""
+    chains = []
+    for model in window.models:
+        layer_range = window.range_for(model)
+        assert layer_range is not None
+        ranges = segments_from_cuts(layer_range[0], layer_range[1],
+                                    cuts_by_model[model])
+        path = placement[model]
+        if len(path) < len(ranges):
+            raise SearchError(
+                f"model {model}: {len(ranges)} segments but only "
+                f"{len(path)} chiplets in path")
+        chain = tuple(
+            Segment(model=model, start=s, stop=e, node=path[i])
+            for i, (s, e) in enumerate(ranges))
+        chains.append(chain)
+    return WindowSchedule(index=window.index, chains=tuple(chains))
+
+
+def node_affinity_ranks(window: WindowAssignment,
+                        evaluator: ScheduleEvaluator,
+                        objective: Objective) -> dict[int, NodeRank]:
+    """Per-model chiplet preference (Fig. 1 heterogeneity-aware assignment).
+
+    Each model ranks every chiplet by the objective score of executing its
+    window layers on that chiplet's *class* (computed once per class, so
+    this is cheap against the memoized cost database).
+    """
+    mcm = evaluator.mcm
+    database = evaluator.database
+    ranks: dict[int, NodeRank] = {}
+    for model, start, stop in window.ranges:
+        instance = evaluator.scenario[model]
+        class_scores: dict[tuple, float] = {}
+        for chiplet in mcm.chiplet_classes():
+            latency = sum(database.latency_s(instance.layer(i), chiplet)
+                          for i in range(start, stop))
+            energy = sum(database.energy_j(instance.layer(i), chiplet)
+                         for i in range(start, stop))
+            class_scores[chiplet.class_key] = objective.score_values(
+                latency, energy)
+        ranks[model] = {
+            node: class_scores[mcm.chiplet(node).class_key]
+            for node in range(mcm.num_chiplets)
+        }
+    return ranks
+
+
+def search_window(window: WindowAssignment,
+                  ranked_by_model: dict[int, list[RankedSegmentation]],
+                  evaluator: ScheduleEvaluator, objective: Objective,
+                  budget: SearchBudget,
+                  collect: list[WindowCandidate] | None = None
+                  ) -> WindowCandidate:
+    """Explore (segmentation x placement) for one window; return the best.
+
+    Segmentation combinations are visited in ascending summed-proxy-score
+    order; each combination receives an equal share of the window's
+    evaluation budget.  ``collect``, when given, receives every evaluated
+    candidate (for Pareto reporting).
+    """
+    models = list(window.models)
+    combos = sorted(
+        product(*(ranked_by_model[m] for m in models)),
+        key=lambda combo: sum(r.score for r in combo))
+    if not combos:
+        raise SearchError(f"window {window.index}: no segmentations")
+
+    per_combo_budget = max(1, budget.max_candidates_per_window // len(combos))
+    rng = random.Random(budget.seed + 7919 * window.index)
+    node_ranks = node_affinity_ranks(window, evaluator, objective)
+
+    best: WindowCandidate | None = None
+    evaluated = 0
+    for combo in combos:
+        if evaluated >= budget.max_candidates_per_window:
+            break
+        cuts_by_model = {m: r.cuts for m, r in zip(models, combo)}
+        # Place larger chains first (paper's subtree ordering intuition:
+        # big subtrees constrain the forest the most).
+        seg_counts = sorted(
+            ((m, len(cuts_by_model[m]) + 1) for m in models),
+            key=lambda mc: (-mc[1], mc[0]))
+        combo_evals = 0
+        for placement in placements(evaluator.mcm, seg_counts, budget, rng,
+                                    node_ranks=node_ranks):
+            window_schedule = build_window_schedule(window, cuts_by_model,
+                                                    placement)
+            metrics = evaluator.evaluate_window(window_schedule)
+            score = objective.score_window(metrics)
+            candidate = WindowCandidate(window=window_schedule,
+                                        metrics=metrics, score=score)
+            if collect is not None:
+                collect.append(candidate)
+            if best is None or candidate.score < best.score:
+                best = candidate
+            evaluated += 1
+            combo_evals += 1
+            if (combo_evals >= per_combo_budget
+                    or evaluated >= budget.max_candidates_per_window):
+                break
+    if best is None:
+        raise SearchError(
+            f"window {window.index}: no feasible placement found "
+            f"(models {models}, {evaluator.mcm.num_chiplets} chiplets)")
+    return best

@@ -1,0 +1,194 @@
+"""Schedule IR: time windows, segments and full schedules (Defs. 4-9).
+
+Because models are topologically sorted, SCAR's greedy layer packing and
+segmentation always produce *contiguous* ranges of each model's layer
+sequence.  The IR therefore represents
+
+* a **segment** (Definition 5) as a half-open layer range of one model
+  bound to a chiplet node, and
+* a **time window** (Definition 4) as, per model, an ordered chain of
+  segments covering the model's layer range assigned to that window.
+
+Validity checks implement Theorem 1 (segments partition the window's
+layers) and Theorem 2 (windows partition the workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SchedulingError, ValidationError
+from repro.workloads.model import Scenario
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Definition 5: a contiguous group of one model's layers on one chiplet.
+
+    ``model`` indexes into the scenario's instances; layers span
+    ``[start, stop)`` of that model's topological order.  ``node`` is the
+    chiplet assignment produced by the SCHED engine (``None`` while the
+    segment is still unplaced).
+    """
+
+    model: int
+    start: int
+    stop: int
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.model < 0:
+            raise SchedulingError(f"negative model index {self.model}")
+        if not (0 <= self.start < self.stop):
+            raise SchedulingError(
+                f"segment range [{self.start}, {self.stop}) is empty or "
+                "negative")
+
+    @property
+    def num_layers(self) -> int:
+        return self.stop - self.start
+
+    def layer_indices(self) -> range:
+        return range(self.start, self.stop)
+
+    def placed(self, node: int) -> "Segment":
+        """This segment bound to a chiplet node."""
+        return replace(self, node=node)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"@c{self.node}" if self.node is not None else "@?"
+        return f"m{self.model}[{self.start}:{self.stop}]{where}"
+
+
+@dataclass(frozen=True)
+class WindowSchedule:
+    """One time window's spatial/temporal mapping (Definitions 4 and 7).
+
+    ``chains[m]`` is model ``m``'s ordered segment chain inside this window
+    (execution order; inter-chiplet pipelining runs along the chain).
+    Models absent from the window simply have no entry.
+    """
+
+    index: int
+    chains: tuple[tuple[Segment, ...], ...]
+
+    def __post_init__(self) -> None:
+        for chain in self.chains:
+            if not chain:
+                raise SchedulingError(
+                    f"window {self.index} has an empty segment chain")
+            model = chain[0].model
+            cursor = chain[0].start
+            for segment in chain:
+                if segment.model != model:
+                    raise SchedulingError(
+                        f"window {self.index}: chain mixes models "
+                        f"{model} and {segment.model}")
+                if segment.start != cursor:
+                    raise ValidationError(
+                        f"window {self.index}: model {model} segments are "
+                        f"not contiguous at layer {cursor}")
+                cursor = segment.stop
+
+    @property
+    def models(self) -> tuple[int, ...]:
+        return tuple(chain[0].model for chain in self.chains)
+
+    def chain_for(self, model: int) -> tuple[Segment, ...]:
+        """Segment chain of ``model`` in this window."""
+        for chain in self.chains:
+            if chain[0].model == model:
+                return chain
+        raise SchedulingError(
+            f"window {self.index} has no segments for model {model}")
+
+    def layer_range(self, model: int) -> tuple[int, int]:
+        """[start, stop) of the model's layers covered by this window."""
+        chain = self.chain_for(model)
+        return chain[0].start, chain[-1].stop
+
+    def segments(self) -> tuple[Segment, ...]:
+        """All segments in the window, model-major."""
+        return tuple(seg for chain in self.chains for seg in chain)
+
+    def nodes_used(self) -> tuple[int, ...]:
+        """Distinct chiplet nodes occupied by placed segments."""
+        nodes = {seg.node for seg in self.segments() if seg.node is not None}
+        return tuple(sorted(nodes))
+
+    @property
+    def total_layers(self) -> int:
+        return sum(seg.num_layers for seg in self.segments())
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A full schedule instance (Definition 9): ordered time windows."""
+
+    windows: tuple[WindowSchedule, ...]
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise SchedulingError("schedule has no time windows")
+        for expected, window in enumerate(self.windows):
+            if window.index != expected:
+                raise SchedulingError(
+                    f"window indices must be 0..n-1 in order; found "
+                    f"{window.index} at position {expected}")
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.windows)
+
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(seg for window in self.windows
+                     for seg in window.segments())
+
+    def validate(self, scenario: Scenario) -> None:
+        """Theorem 1 + Theorem 2: exact partition of every model's layers.
+
+        Raises :class:`ValidationError` on coverage gaps, overlaps, or
+        out-of-range layers; also checks chiplet exclusivity within each
+        window (a node hosts at most one model per window).
+        """
+        cursors = [0] * len(scenario)
+        for window in self.windows:
+            owners: dict[int, int] = {}
+            for chain in window.chains:
+                model = chain[0].model
+                if model >= len(scenario):
+                    raise ValidationError(
+                        f"window {window.index} references model {model} "
+                        f"outside scenario ({len(scenario)} models)")
+                if chain[0].start != cursors[model]:
+                    raise ValidationError(
+                        f"model {model}: window {window.index} starts at "
+                        f"layer {chain[0].start}, expected {cursors[model]}")
+                cursors[model] = chain[-1].stop
+                for segment in chain:
+                    if segment.node is None:
+                        continue
+                    owner = owners.setdefault(segment.node, model)
+                    if owner != model:
+                        raise ValidationError(
+                            f"window {window.index}: node {segment.node} "
+                            f"shared by models {owner} and {model}")
+        for model, cursor in enumerate(cursors):
+            expected = scenario[model].num_layers
+            if cursor != expected:
+                raise ValidationError(
+                    f"model {model} covers layers [0, {cursor}) but has "
+                    f"{expected} layers (Theorem 2 violation)")
+
+    def describe(self, scenario: Scenario) -> str:
+        """Multi-line human-readable schedule dump (Fig. 9 style)."""
+        lines = []
+        for window in self.windows:
+            lines.append(f"window {window.index}:")
+            for chain in window.chains:
+                name = scenario[chain[0].model].name
+                parts = ", ".join(
+                    f"L[{seg.start}:{seg.stop})->c{seg.node}"
+                    for seg in chain)
+                lines.append(f"  {name}: {parts}")
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Optimization metrics (Definition 10's ``OptMetric``).
+
+The paper's searches target one of latency, energy or EDP at a time
+("Latency Search", "Energy Search", "EDP Search"), and the framework allows
+user-defined functions of a schedule's metrics; both are supported here.
+Scores are *minimized*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.metrics import ScheduleMetrics, WindowMetrics
+from repro.errors import SearchError
+
+
+class OptTarget(enum.Enum):
+    """Built-in optimization targets."""
+
+    LATENCY = "latency"
+    ENERGY = "energy"
+    EDP = "edp"
+
+
+MetricFn = Callable[[float, float], float]
+"""Custom metric: ``f(latency_s, energy_j) -> score`` (lower is better)."""
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A configurable optimization objective.
+
+    Either one of the built-in :class:`OptTarget` values or a custom
+    callable over (latency, energy).  ``latency_bound_s`` optionally
+    invalidates candidates whose latency exceeds a constraint (the
+    "EDP search lower-bounded by the latency search" extension discussed
+    in Sec. VI): violating candidates score ``inf``.
+    """
+
+    target: OptTarget = OptTarget.EDP
+    custom: MetricFn | None = None
+    latency_bound_s: float | None = None
+
+    def score_values(self, latency_s: float, energy_j: float) -> float:
+        """Score raw latency/energy values (lower is better)."""
+        if self.latency_bound_s is not None \
+                and latency_s > self.latency_bound_s:
+            return float("inf")
+        if self.custom is not None:
+            return self.custom(latency_s, energy_j)
+        if self.target is OptTarget.LATENCY:
+            return latency_s
+        if self.target is OptTarget.ENERGY:
+            return energy_j
+        if self.target is OptTarget.EDP:
+            return latency_s * energy_j
+        raise SearchError(f"unknown target {self.target!r}")
+
+    def score(self, metrics: ScheduleMetrics) -> float:
+        """Score a full schedule."""
+        return self.score_values(metrics.latency_s, metrics.energy_j)
+
+    def score_window(self, metrics: WindowMetrics) -> float:
+        """Score a single window (used by the per-window search)."""
+        return self.score_values(metrics.latency_s, metrics.energy_j)
+
+    @property
+    def name(self) -> str:
+        if self.custom is not None:
+            return "custom"
+        return self.target.value
+
+
+def latency_objective() -> Objective:
+    """The paper's Latency Search."""
+    return Objective(target=OptTarget.LATENCY)
+
+
+def energy_objective() -> Objective:
+    """The paper's Energy Search."""
+    return Objective(target=OptTarget.ENERGY)
+
+
+def edp_objective() -> Objective:
+    """The paper's (default) EDP Search."""
+    return Objective(target=OptTarget.EDP)
+
+
+def objective_by_name(name: str) -> Objective:
+    """Resolve ``"latency" | "energy" | "edp"`` to an objective."""
+    try:
+        return Objective(target=OptTarget(name))
+    except ValueError:
+        raise SearchError(
+            f"unknown objective {name!r}; expected one of "
+            f"{[t.value for t in OptTarget]}") from None

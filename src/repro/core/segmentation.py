@@ -1,0 +1,156 @@
+"""Segmentation engine (SEG, Sec. IV-C).
+
+Partitions a window's per-model layer range into at most ``N_i`` contiguous
+segments (Definition 5).  The search-space reduction follows the paper's
+Heuristic 1: candidates from each model are ranked *independently* with a
+cheap expected-cost pipeline proxy, and only the top-k per model reach the
+SCHED engine, turning the product space ``O(prod_i C(L_i, N_i - 1))`` into
+``O(max_i C(L_i, N_i - 1))``.
+
+Candidate generation enumerates every cut-set when the count fits the
+budget, and otherwise samples deterministically while always retaining the
+single-segment and load-balanced candidates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.budget import SearchBudget
+from repro.errors import SearchError
+
+Cuts = tuple[int, ...]
+"""Cut positions: segment boundaries inside (start, stop), ascending."""
+
+
+def segments_from_cuts(start: int, stop: int, cuts: Cuts) -> tuple[tuple[int, int], ...]:
+    """Materialize [start, stop) sub-ranges from cut positions."""
+    bounds = (start, *cuts, stop)
+    return tuple((bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1))
+
+
+def _balanced_cuts(start: int, stop: int, num_segments: int,
+                   weights: list[float]) -> Cuts:
+    """Cut positions that approximately balance per-segment weight."""
+    total = sum(weights)
+    if total <= 0:
+        # Degenerate: equal layer counts.
+        size = (stop - start) / num_segments
+        return tuple(start + round(size * i) for i in range(1, num_segments))
+    target = total / num_segments
+    cuts: list[int] = []
+    acc = 0.0
+    for offset, weight in enumerate(weights[:-1]):
+        acc += weight
+        if acc >= target * (len(cuts) + 1) and len(cuts) < num_segments - 1:
+            cuts.append(start + offset + 1)
+    while len(cuts) < num_segments - 1:
+        candidate = (cuts[-1] if cuts else start) + 1
+        if candidate >= stop:
+            break
+        cuts.append(candidate)
+    return tuple(sorted(set(cuts)))
+
+
+def enumerate_cut_candidates(start: int, stop: int, max_segments: int,
+                             weights: list[float],
+                             budget: SearchBudget) -> list[Cuts]:
+    """Candidate cut-sets for one model's window range.
+
+    Always includes the no-cut candidate and, per segment count, the
+    weight-balanced candidate; fills the rest exhaustively or by seeded
+    sampling up to ``budget.max_segment_candidates``.
+    """
+    num_layers = stop - start
+    if num_layers < 1:
+        raise SearchError(f"empty layer range [{start}, {stop})")
+    max_segments = max(1, min(max_segments, num_layers))
+    positions = list(range(start + 1, stop))
+
+    candidates: list[Cuts] = [()]
+    seen: set[Cuts] = {()}
+
+    def add(cuts: Cuts) -> None:
+        if cuts not in seen:
+            seen.add(cuts)
+            candidates.append(cuts)
+
+    for num_segments in range(2, max_segments + 1):
+        add(_balanced_cuts(start, stop, num_segments, weights))
+
+    rng = random.Random(budget.seed)
+    for num_segments in range(2, max_segments + 1):
+        num_cuts = num_segments - 1
+        space = math.comb(len(positions), num_cuts)
+        room = budget.max_segment_candidates - len(candidates)
+        if room <= 0:
+            break
+        if space <= room:
+            for cuts in combinations(positions, num_cuts):
+                add(tuple(cuts))
+        else:
+            for _ in range(room):
+                add(tuple(sorted(rng.sample(positions, num_cuts))))
+    return candidates[:budget.max_segment_candidates]
+
+
+@dataclass(frozen=True)
+class RankedSegmentation:
+    """A candidate segmentation with its proxy score (lower is better)."""
+
+    cuts: Cuts
+    score: float
+
+
+def proxy_pipeline_score(start: int, stop: int, cuts: Cuts,
+                         per_layer_expected_s: list[float], batch: int,
+                         boundary_bytes: list[float],
+                         nop_gbps: float) -> float:
+    """Cheap expected-latency proxy for one model's segmentation.
+
+    Uses per-sample expected layer latencies (Eq. 1 values divided by
+    batch): pipeline latency = sum of per-sample segment latencies + the
+    bottleneck segment repeated ``batch - 1`` times, plus the NoP
+    serialization of each cut's boundary activations.
+
+    ``per_layer_expected_s[i]`` / ``boundary_bytes[i]`` are indexed by
+    absolute layer index minus ``start``.
+    """
+    ranges = segments_from_cuts(start, stop, cuts)
+    steadies = []
+    for seg_start, seg_stop in ranges:
+        compute = sum(per_layer_expected_s[i - start] / batch
+                      for i in range(seg_start, seg_stop))
+        comm = 0.0
+        if seg_stop != stop:  # a cut follows this segment
+            comm = (boundary_bytes[seg_stop - 1 - start] / batch) \
+                / (nop_gbps * 1e9)
+        steadies.append(compute + comm)
+    return sum(steadies) + (batch - 1) * max(steadies)
+
+
+def rank_segmentations(start: int, stop: int, max_segments: int,
+                       per_layer_expected_s: list[float], batch: int,
+                       boundary_bytes: list[float], nop_gbps: float,
+                       budget: SearchBudget) -> list[RankedSegmentation]:
+    """Heuristic 1 step 1: rank a model's candidates independently.
+
+    Returns the top ``budget.top_k_segmentations`` candidates by proxy
+    score (deterministic ties by cut tuple).
+    """
+    weights = list(per_layer_expected_s)
+    candidates = enumerate_cut_candidates(start, stop, max_segments,
+                                          weights, budget)
+    ranked = [
+        RankedSegmentation(
+            cuts=cuts,
+            score=proxy_pipeline_score(start, stop, cuts,
+                                       per_layer_expected_s, batch,
+                                       boundary_bytes, nop_gbps))
+        for cuts in candidates
+    ]
+    ranked.sort(key=lambda r: (r.score, r.cuts))
+    return ranked[:budget.top_k_segmentations]

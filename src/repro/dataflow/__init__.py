@@ -1,0 +1,26 @@
+"""MAESTRO-lite dataflow cost model substrate."""
+
+from repro.dataflow.cost import (
+    LayerCost,
+    SpatialMapping,
+    compute_layer_cost,
+    map_spatial,
+)
+from repro.dataflow.database import ChipletLike, LayerCostDatabase
+from repro.dataflow.dataflow import (
+    NVDLA,
+    SHIDIANNAO,
+    Dataflow,
+    DataflowStyle,
+    by_name,
+    known_dataflows,
+    register,
+)
+from repro.dataflow.energy import DEFAULT_ENERGY, EnergyTable
+
+__all__ = [
+    "ChipletLike", "DEFAULT_ENERGY", "Dataflow", "DataflowStyle",
+    "EnergyTable", "LayerCost", "LayerCostDatabase", "NVDLA", "SHIDIANNAO",
+    "SpatialMapping", "by_name", "compute_layer_cost", "known_dataflows",
+    "map_spatial", "register",
+]

@@ -1,0 +1,305 @@
+"""MAESTRO-lite: analytical intra-chiplet latency/energy for one layer.
+
+This module re-implements the data-centric analytical model the paper builds
+on (MAESTRO [35, 36]) at the fidelity the scheduler needs:
+
+1. **Spatial mapping.**  The dataflow unrolls two loop dimensions onto the
+   PE array (dataflow-fixed; see :mod:`repro.dataflow.dataflow`).  The
+   mapper evaluates every power-of-two factorization of the array and picks
+   the one minimizing *stall-adjusted* cycles.
+2. **Compute cycles.**  ``ceil(d1/p1) * ceil(d2/p2) * (temporal product)``.
+3. **Operand-delivery stalls.**  Each cycle the array consumes a number of
+   *distinct* operand elements that depends on the stationarity class; when
+   the required bytes/cycle exceed the chiplet NoC bandwidth the layer
+   stalls proportionally.  This is what makes output-stationary chiplets
+   slow on channel-heavy GEMMs (each PE holds a different output neuron and
+   needs its own weight every cycle) and weight-stationary chiplets slow on
+   spatially-large shallow convolutions (K*C far below the PE count) -- the
+   per-layer affinity signal that drives every scheduling result in the
+   paper.
+4. **Reuse-aware energy.**  SRAM traffic is derived from the same per-cycle
+   distinct-operand rates; DRAM re-fetch rounds are charged when the layer
+   working set exceeds the chiplet L2.
+
+Reuse assumptions (documented deviations from full MAESTRO):
+
+* WS: weights fetched once per re-fetch round; inputs broadcast across the
+  K-parallel axis with convolutional halo reuse; partial sums spill to L2
+  once per C-tile (the weight-stationary weakness on deep-C layers).
+* OS: outputs written once; inputs benefit from shift-register halo reuse
+  and are broadcast across K-lanes; weights are cached in the PE-local L1
+  when the per-step stationary set fits (``_OS_WEIGHT_L1_BYTES``) and
+  *streamed* otherwise -- one distinct weight per K-lane per cycle, which
+  is the output-stationary weakness on channel-heavy GEMMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dataflow.dataflow import Dataflow, DataflowStyle
+from repro.dataflow.energy import DEFAULT_ENERGY, EnergyTable
+from repro.errors import DataflowError
+from repro.units import gbps_to_bytes_per_cycle
+from repro.workloads.layer import Layer, LayerOp
+
+#: Loop dimensions that participate in each operator class.
+_ACTIVE_DIMS: dict[LayerOp, tuple[str, ...]] = {
+    LayerOp.CONV: ("N", "K", "C", "Y", "X", "R", "S"),
+    LayerOp.DWCONV: ("N", "C", "Y", "X", "R", "S"),
+    LayerOp.GEMM: ("N", "K", "C", "Y"),
+    LayerOp.POOL: ("N", "C", "Y", "X", "R", "S"),
+    LayerOp.ELEMWISE: ("N", "K", "Y", "X"),
+}
+
+#: Per-PE-lane L1 weight-cache capacity: an output-stationary step keeps its
+#: weights local when the stationary set fits, and streams them otherwise.
+_OS_WEIGHT_L1_BYTES = 128 * 1024
+
+#: Pseudo spatial dimension: the flattened output feature map (Y * X).
+_FLAT_OUTPUT = "YX"
+
+
+@dataclass(frozen=True)
+class SpatialMapping:
+    """One candidate factorization of the PE array over two loop dims."""
+
+    dim1: str
+    dim2: str
+    p1: int
+    p2: int
+    steps: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Intra-chiplet cost of one layer under one dataflow.
+
+    ``cycles`` includes operand-delivery stalls and the shared-memory
+    bandwidth bound.  Communication to/from the chiplet (NoP, off-chip) is
+    *not* included; the schedule evaluator adds it based on placement
+    (Sec. III-E).
+    """
+
+    cycles: float
+    energy_pj: float
+    macs: int
+    sram_bytes: float
+    dram_refetch_bytes: float
+    mapping: SpatialMapping
+    stall_factor: float
+
+    def latency_s(self, clock_hz: float) -> float:
+        """Wall-clock latency at the given chiplet frequency."""
+        return self.cycles / clock_hz
+
+    def energy_j(self) -> float:
+        """Energy in joules."""
+        return self.energy_pj * 1e-12
+
+
+def _candidate_splits(num_pes: int) -> tuple[int, ...]:
+    """Candidate extents for the first spatial axis of the PE array."""
+    powers = []
+    p = 1
+    while p <= num_pes:
+        powers.append(p)
+        p *= 2
+    if powers[-1] != num_pes:
+        powers.append(num_pes)
+    return tuple(powers)
+
+
+def _make_mapping(dim1: str, extent1: int, dim2: str, extent2: int,
+                  p1: int, p2: int) -> SpatialMapping:
+    eff1 = max(min(p1, extent1), 1)
+    eff2 = max(min(p2, extent2), 1)
+    steps = math.ceil(extent1 / eff1) * math.ceil(extent2 / eff2)
+    utilization = (extent1 * extent2) / (steps * eff1 * eff2)
+    return SpatialMapping(dim1=dim1, dim2=dim2, p1=eff1, p2=eff2,
+                          steps=steps, utilization=utilization)
+
+
+def map_spatial(dim1: str, extent1: int, dim2: str, extent2: int,
+                num_pes: int) -> SpatialMapping:
+    """Pure spatial mapping: minimize iteration steps, ignore stalls.
+
+    Ties break toward higher utilization.  Exposed for tests and tooling;
+    :func:`compute_layer_cost` uses the stall-aware selection instead.
+    """
+    if num_pes < 1:
+        raise DataflowError(f"num_pes must be >= 1, got {num_pes}")
+    best: SpatialMapping | None = None
+    for p1 in _candidate_splits(num_pes):
+        candidate = _make_mapping(dim1, extent1, dim2, extent2, p1,
+                                  num_pes // p1)
+        if (best is None or candidate.steps < best.steps
+                or (candidate.steps == best.steps
+                    and candidate.utilization > best.utilization + 1e-12)):
+            best = candidate
+    assert best is not None
+    return best
+
+
+def _spatial_extent(layer: Layer, name: str) -> int:
+    """Extent of a (possibly pseudo) spatial dimension."""
+    if name == _FLAT_OUTPUT:
+        return layer.y * layer.x
+    return layer.dims()[name]
+
+
+def _temporal_product(layer: Layer, mapping: SpatialMapping) -> int:
+    """Product of all active loop extents outside the spatial dims."""
+    dims = layer.dims()
+    spatial = {mapping.dim1, mapping.dim2}
+    if _FLAT_OUTPUT in spatial:
+        spatial.discard(_FLAT_OUTPUT)
+        spatial.update(("Y", "X"))
+    product = 1
+    for name in _ACTIVE_DIMS[layer.op]:
+        if name in spatial:
+            continue
+        product *= dims[name]
+    return product
+
+
+def _spatial_of(mapping: SpatialMapping, name: str, default: float = 1.0) -> float:
+    """Parallel extent along a named spatial dimension (1 if temporal)."""
+    if mapping.dim1 == name:
+        return float(mapping.p1)
+    if mapping.dim2 == name:
+        return float(mapping.p2)
+    return default
+
+
+def _operand_fetches(layer: Layer, style: DataflowStyle,
+                     mapping: SpatialMapping, base_cycles: float,
+                     refetch_rounds: int) -> tuple[float, float, float]:
+    """Total distinct operand *elements* fetched over the layer's lifetime.
+
+    Returns ``(weight_fetches, input_fetches, psum_traffic)``; dividing by
+    ``base_cycles`` yields the per-cycle delivery demand used for stall
+    analysis, and multiplying by the element size yields SRAM traffic.
+    """
+    dims = layer.dims()
+    out_elems = layer.n * layer.k * layer.y * layer.x
+    weight_elems = layer.weight_bytes // max(layer.bytes_per_element, 1)
+    has_weights = layer.op in (LayerOp.CONV, LayerOp.DWCONV, LayerOp.GEMM)
+    halo_reuse = max(layer.r * layer.s, 1)
+
+    if style is DataflowStyle.WEIGHT_STATIONARY:
+        # No input shift network in a weight-stationary array: every cycle
+        # re-fetches the C-parallel input slice (no halo reuse).
+        weight_fetches = float(weight_elems * refetch_rounds)
+        if layer.op is LayerOp.DWCONV:
+            input_fetches = base_cycles * mapping.p1 * mapping.p2
+            c_tiles = 1
+        elif "C" in (mapping.dim1, mapping.dim2):
+            p_c = _spatial_of(mapping, "C")
+            input_fetches = base_cycles * p_c
+            c_tiles = math.ceil(dims["C"] / p_c)
+        else:
+            input_fetches = base_cycles * mapping.p1 * mapping.p2
+            c_tiles = 1
+        accumulates_c = layer.op in (LayerOp.CONV, LayerOp.GEMM)
+        psum_traffic = out_elems * (2.0 * c_tiles if accumulates_c else 1.0)
+        return weight_fetches, input_fetches, psum_traffic
+
+    # Output stationary: psums pinned in the array, outputs written once.
+    p_yx = _spatial_of(mapping, _FLAT_OUTPUT)
+    p_k = _spatial_of(mapping, "K")
+    p_c = _spatial_of(mapping, "C")
+
+    if not has_weights:
+        weight_fetches = 0.0
+    else:
+        # Per-step stationary weight set: one K-lane (or C-lane for
+        # depthwise) holds its reduction weights for the whole step.
+        if layer.op is LayerOp.GEMM:
+            lane_set = p_k * dims["C"]
+        elif layer.op is LayerOp.DWCONV:
+            lane_set = p_c * layer.r * layer.s
+        else:
+            lane_set = p_k * dims["C"] * layer.r * layer.s
+        if lane_set * layer.bytes_per_element <= _OS_WEIGHT_L1_BYTES:
+            weight_fetches = float(weight_elems * refetch_rounds)
+        else:
+            lanes = p_c if layer.op is LayerOp.DWCONV else p_k
+            weight_fetches = base_cycles * max(lanes, 1.0)
+
+    if layer.op is LayerOp.GEMM:
+        # One (c, token) input broadcast to every neuron lane per cycle.
+        input_fetches = base_cycles * _spatial_of(mapping, "Y")
+    elif layer.op is LayerOp.DWCONV:
+        # Channel lanes each consume their own input stream.
+        input_fetches = base_cycles * p_yx * p_c / halo_reuse
+    else:
+        # Inputs broadcast across K-lanes, halo-reused across the map.
+        input_fetches = base_cycles * p_yx / halo_reuse
+    psum_traffic = float(out_elems)
+    return weight_fetches, input_fetches, psum_traffic
+
+
+def compute_layer_cost(layer: Layer, dataflow: Dataflow, *, num_pes: int,
+                       sram_bytes: int, noc_gbps: float, mem_gbps: float,
+                       clock_hz: float,
+                       energy: EnergyTable = DEFAULT_ENERGY) -> LayerCost:
+    """Cost ``layer`` on a chiplet implementing ``dataflow`` (Definition 2).
+
+    Parameters mirror the chiplet fields of Definition 2: PE count, L2
+    scratchpad size, NoC bandwidth (operand delivery inside the chiplet) and
+    chiplet shared-memory bandwidth.  The best stall-adjusted spatial
+    mapping is selected among all power-of-two array factorizations.
+    """
+    if num_pes < 1:
+        raise DataflowError(f"num_pes must be >= 1, got {num_pes}")
+    d1, d2 = dataflow.spatial_dims(layer.op)
+    extent1 = _spatial_extent(layer, d1)
+    extent2 = _spatial_extent(layer, d2)
+
+    footprint = layer.footprint_bytes
+    refetch_rounds = max(1, math.ceil(footprint / max(sram_bytes, 1)))
+    dram_refetch = (refetch_rounds - 1) * float(layer.weight_bytes)
+
+    noc_bpc = gbps_to_bytes_per_cycle(noc_gbps, clock_hz)
+    mem_bpc = gbps_to_bytes_per_cycle(mem_gbps, clock_hz)
+    elem_bytes = layer.bytes_per_element
+
+    best: tuple[float, float, float, SpatialMapping] | None = None
+    for p1 in _candidate_splits(num_pes):
+        mapping = _make_mapping(d1, extent1, d2, extent2, p1,
+                                max(num_pes // p1, 1))
+        base_cycles = float(mapping.steps * _temporal_product(layer, mapping))
+        fetches = _operand_fetches(layer, dataflow.style, mapping,
+                                   base_cycles, refetch_rounds)
+        sram_traffic = sum(fetches) * elem_bytes
+        demand_bpc = sram_traffic / max(base_cycles, 1.0)
+        stall = max(1.0, demand_bpc / max(noc_bpc, 1e-9))
+        cycles = max(base_cycles * stall, sram_traffic / max(mem_bpc, 1e-9))
+        if (best is None or cycles < best[0] - 1e-9
+                or (abs(cycles - best[0]) <= 1e-9
+                    and mapping.utilization > best[3].utilization + 1e-12)):
+            best = (cycles, stall, sram_traffic, mapping)
+    assert best is not None
+    cycles, stall, sram_traffic, mapping = best
+
+    mac_energy = layer.macs * energy.mac_pj
+    if layer.op in (LayerOp.POOL, LayerOp.ELEMWISE):
+        mac_energy *= 0.1  # comparators/adders, not multipliers
+    energy_pj = (
+        mac_energy
+        + sram_traffic * energy.sram_pj_byte
+        + dram_refetch * energy.dram_pj_byte
+        + cycles * energy.leakage_pj_cycle
+    )
+    return LayerCost(
+        cycles=cycles,
+        energy_pj=energy_pj,
+        macs=layer.macs,
+        sram_bytes=sram_traffic,
+        dram_refetch_bytes=dram_refetch,
+        mapping=mapping,
+        stall_factor=stall,
+    )

@@ -1,0 +1,101 @@
+"""Dataflow classes supported by the heterogeneous MCM.
+
+The paper's chiplets implement two accelerator dataflow styles:
+
+* **NVDLA-like** -- weight-stationary (WS).  Weights are pinned in the PE
+  array; the array is spatially unrolled over output/input channels (K, C).
+* **Shi-diannao-like** -- output-stationary (OS).  Partial sums are pinned;
+  the array is spatially unrolled over output elements ((Y, X) for
+  convolutions, (K, M) for GEMMs).
+
+The spatial-unrolling choice per operator class is the single decision that
+produces the per-layer *dataflow affinities* the whole paper is built on
+(transformer GEMMs prefer WS, spatially-large convolutions prefer OS).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DataflowError
+from repro.workloads.layer import LayerOp
+
+
+class DataflowStyle(enum.Enum):
+    """Stationarity class of a dataflow."""
+
+    WEIGHT_STATIONARY = "weight_stationary"
+    OUTPUT_STATIONARY = "output_stationary"
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """A named dataflow class (``df`` in Definition 2)."""
+
+    name: str
+    style: DataflowStyle
+
+    def spatial_dims(self, op: LayerOp) -> tuple[str, str]:
+        """The two loop dimensions unrolled onto the PE array for ``op``.
+
+        Dimension names follow :meth:`repro.workloads.layer.Layer.dims`.
+        """
+        if self.style is DataflowStyle.WEIGHT_STATIONARY:
+            if op in (LayerOp.CONV, LayerOp.GEMM):
+                return ("K", "C")
+            if op in (LayerOp.DWCONV, LayerOp.POOL):
+                return ("C", "R")
+            if op is LayerOp.ELEMWISE:
+                return ("K", "Y")
+        else:
+            if op in (LayerOp.CONV, LayerOp.POOL):
+                # Output elements across the array: the flattened output
+                # feature map ("YX") with folding over output channels, so
+                # deep layers with small maps still fill the array.
+                return ("YX", "K")
+            if op is LayerOp.DWCONV:
+                return ("YX", "C")
+            if op is LayerOp.GEMM:
+                # Fixed Shi-diannao FC mapping: output neurons across the
+                # array (X extent is 1 by the GEMM convention); tokens (Y)
+                # stream temporally.  Every PE then needs its own weight
+                # each cycle, which is what makes OS chiplets
+                # bandwidth-bound on channel-heavy GEMMs.
+                return ("K", "X")
+            if op is LayerOp.ELEMWISE:
+                return ("Y", "X")
+        raise DataflowError(f"dataflow {self.name!r}: unsupported op {op}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The two dataflows evaluated by the paper.
+NVDLA = Dataflow(name="nvdla", style=DataflowStyle.WEIGHT_STATIONARY)
+SHIDIANNAO = Dataflow(name="shidiannao",
+                      style=DataflowStyle.OUTPUT_STATIONARY)
+
+_REGISTRY: dict[str, Dataflow] = {df.name: df for df in (NVDLA, SHIDIANNAO)}
+
+
+def register(dataflow: Dataflow) -> None:
+    """Register a custom dataflow so it can be resolved by name."""
+    if dataflow.name in _REGISTRY:
+        raise DataflowError(f"dataflow {dataflow.name!r} already registered")
+    _REGISTRY[dataflow.name] = dataflow
+
+
+def by_name(name: str) -> Dataflow:
+    """Resolve a dataflow by its registered name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DataflowError(
+            f"unknown dataflow {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_dataflows() -> tuple[str, ...]:
+    """Names of all registered dataflows."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the SCAR reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.  Each subclass corresponds to one layer
+of the system (workload definition, hardware model, scheduling, search).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload definition (layer dims, model topology, scenario)."""
+
+
+class HardwareError(ReproError):
+    """Invalid MCM hardware description (chiplet, topology, package)."""
+
+
+class DataflowError(ReproError):
+    """Unknown dataflow or invalid dataflow/layer combination."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling engine produced or received an invalid schedule."""
+
+
+class ValidationError(SchedulingError):
+    """A schedule violates Theorem 1/2 validity (coverage or exclusivity)."""
+
+
+class SearchError(ReproError):
+    """Search-space exploration failed (empty space, bad budget)."""
+
+
+class ConfigError(ReproError):
+    """Malformed configuration file or unknown template name."""

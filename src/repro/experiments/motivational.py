@@ -1,0 +1,103 @@
+"""Fig. 2 motivational study: a 2x2 heterogeneous MCM (3 NVDLA + 1 Shi).
+
+Workload: three layers from ResNet-50's second block plus the first GPT
+feed-forward layer, batch 1, 4096-PE chiplets with 10 MB L2.  Reproduces
+the six cases:
+
+* A1/A2 -- single model (ResNet slice) on one Shi / NVDLA chiplet
+  (NN-baton-style single-chiplet scheduling);
+* A3 -- single model through SCAR on the heterogeneous 2x2;
+* B1 -- multi-model, NN-baton sequential on the starting chiplet;
+* B2 -- multi-model, SCAR restricted to one time window (spatial);
+* B3 -- multi-model, SCAR with two time windows (spatio-temporal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import NNBatonScheduler, StandaloneScheduler
+from repro.core.budget import SearchBudget
+from repro.core.scar import SCARScheduler
+from repro.core.scoring import edp_objective
+from repro.experiments.reporting import format_table
+from repro.mcm import templates
+from repro.workloads.model import Model, ModelInstance, Scenario
+from repro.workloads.zoo.resnet import resnet_block2_slice
+from repro.workloads.zoo.transformers import gpt2_ffn_layer
+
+
+def motivational_scenarios() -> tuple[Scenario, Scenario]:
+    """(single-model ResNet-slice scenario, two-model scenario)."""
+    resnet_slice = Model(name="resnet_block2",
+                         layers=resnet_block2_slice(3))
+    gpt_layer = Model(name="gpt2_ffn", layers=(gpt2_ffn_layer(),))
+    single = Scenario(name="fig2_single",
+                      instances=(ModelInstance(resnet_slice, 1),))
+    multi = Scenario(name="fig2_multi",
+                     instances=(ModelInstance(resnet_slice, 1),
+                                ModelInstance(gpt_layer, 1)))
+    return single, multi
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """EDPs of the six motivational cases plus paper-style ratios."""
+
+    edps: dict[str, float]
+
+    @property
+    def single_ratios(self) -> dict[str, float]:
+        ref = self.edps["A1_nnbaton_shi"]
+        return {k: self.edps[k] / ref for k in
+                ("A1_nnbaton_shi", "A2_nnbaton_nvd", "A3_scar_het")}
+
+    @property
+    def multi_ratios(self) -> dict[str, float]:
+        ref = self.edps["B1_nnbaton_seq"]
+        return {k: self.edps[k] / ref for k in
+                ("B1_nnbaton_seq", "B2_scar_spatial", "B3_scar_temporal")}
+
+    def render(self) -> str:
+        rows = [(name, edp * 1e3) for name, edp in self.edps.items()]
+        table = format_table(("case", "EDP (mJ.s)"), rows,
+                             title="Fig. 2 motivational study (2x2 MCM)")
+        ratios = [
+            f"A2/A1 = {self.single_ratios['A2_nnbaton_nvd']:.2f} "
+            "(paper: 0.78)",
+            f"A3/A1 = {self.single_ratios['A3_scar_het']:.2f} "
+            "(paper: 0.52)",
+            f"B2/B1 = {self.multi_ratios['B2_scar_spatial']:.2f} "
+            "(paper: 0.30)",
+            f"B3/B1 = {self.multi_ratios['B3_scar_temporal']:.2f} "
+            "(paper: 0.28)",
+        ]
+        return table + "\n" + "\n".join(ratios)
+
+
+def run_fig2(budget: SearchBudget | None = None) -> Fig2Result:
+    """Run all six Fig. 2 cases and return their EDPs."""
+    budget = budget or SearchBudget()
+    single, multi = motivational_scenarios()
+    het = templates.build("het_2x2")
+    shi = templates.custom_mesh("shi_2x2", 2, 2, ["shidiannao"] * 4)
+    nvd = templates.custom_mesh("nvd_2x2", 2, 2, ["nvdla"] * 4)
+
+    edps: dict[str, float] = {}
+    edps["A1_nnbaton_shi"] = NNBatonScheduler(shi).schedule(single) \
+        .metrics.edp
+    edps["A2_nnbaton_nvd"] = NNBatonScheduler(nvd).schedule(single) \
+        .metrics.edp
+    edps["A3_scar_het"] = SCARScheduler(
+        het, objective=edp_objective(), nsplits=0,
+        budget=budget).schedule(single).metrics.edp
+
+    edps["B1_nnbaton_seq"] = NNBatonScheduler(het).schedule(multi) \
+        .metrics.edp
+    edps["B2_scar_spatial"] = SCARScheduler(
+        het, objective=edp_objective(), nsplits=0,
+        budget=budget).schedule(multi).metrics.edp
+    edps["B3_scar_temporal"] = SCARScheduler(
+        het, objective=edp_objective(), nsplits=1,
+        budget=budget).schedule(multi).metrics.edp
+    return Fig2Result(edps=edps)

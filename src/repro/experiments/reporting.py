@@ -1,0 +1,99 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Experiments print the same rows/series the paper's tables and figures
+report; these helpers render aligned ASCII tables, normalized ratios and
+Pareto fronts without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Point = tuple[float, float]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table (floats shown with 4 significant)."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def normalize(values: dict[str, float], baseline: str) -> dict[str, float]:
+    """Divide every value by the baseline entry (the paper's 'normalized
+    by standalone NVDLA' convention)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from {sorted(values)}")
+    ref = values[baseline]
+    if ref == 0:
+        raise ZeroDivisionError(f"baseline {baseline!r} value is zero")
+    return {name: value / ref for name, value in values.items()}
+
+
+def pareto_front(points: Sequence[Point]) -> list[Point]:
+    """Non-dominated (latency, energy) points, sorted by latency.
+
+    A point dominates another when it is <= in both coordinates and < in
+    at least one.
+    """
+    front: list[Point] = []
+    best_energy = float("inf")
+    for candidate in sorted(set(points)):
+        if candidate[1] < best_energy:
+            front.append(candidate)
+            best_energy = candidate[1]
+    return front
+
+
+def ascii_scatter(series: dict[str, Sequence[Point]], width: int = 64,
+                  height: int = 20, title: str | None = None) -> str:
+    """Rough log-free scatter plot of (latency, energy) series.
+
+    Each series gets the first letter of its name as the marker; later
+    series overwrite earlier ones on collisions.  Intended for quick
+    terminal inspection of Pareto structure, not publication.
+    """
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return "(no points)"
+    min_x = min(p[0] for p in all_points)
+    max_x = max(p[0] for p in all_points)
+    min_y = min(p[1] for p in all_points)
+    max_y = max(p[1] for p in all_points)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for name, points in series.items():
+        marker = name[0].upper()
+        for x, y in points:
+            col = int((x - min_x) / span_x * (width - 1))
+            row = int((y - min_y) / span_y * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"energy [{min_y:.3g}, {max_y:.3g}] J (vertical) vs "
+                 f"latency [{min_x:.3g}, {max_x:.3g}] s (horizontal)")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("legend: " + ", ".join(f"{name[0].upper()}={name}"
+                                        for name in series))
+    return "\n".join(lines)

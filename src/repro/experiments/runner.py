@@ -1,0 +1,172 @@
+"""Shared experiment plumbing: strategies, configs and cached runs.
+
+A *strategy* is the paper's (MCM template x scheduler policy) pair, e.g.
+``stand_nvd`` (Standalone scheduler on a homogeneous NVDLA 3x3) or
+``het_sides`` (SCAR on the Het-Sides 3x3).  Experiments ask the
+:class:`ExperimentRunner` for (scenario, strategy, objective) triples; the
+runner memoizes results so that e.g. Table IV and Fig. 7 share work inside
+one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.baselines import NNBatonScheduler, StandaloneScheduler
+from repro.core.budget import QUICK_BUDGET, SearchBudget
+from repro.core.metrics import ScheduleMetrics
+from repro.core.scar import SCARResult, SCARScheduler
+from repro.core.schedule import Schedule
+from repro.core.scoring import Objective, objective_by_name
+from repro.dataflow.database import LayerCostDatabase
+from repro.errors import ConfigError
+from repro.mcm import templates
+from repro.workloads.model import Scenario
+
+#: strategy name -> (MCM template, scheduler policy)
+STRATEGIES: dict[str, tuple[str, str]] = {
+    "stand_shi": ("simba_shi_3x3", "standalone"),
+    "stand_nvd": ("simba_nvd_3x3", "standalone"),
+    "nn_baton": ("simba_nvd_3x3", "nn_baton"),
+    "simba_shi": ("simba_shi_3x3", "scar"),
+    "simba_nvd": ("simba_nvd_3x3", "scar"),
+    "het_cb": ("het_cb_3x3", "scar"),
+    "het_sides": ("het_sides_3x3", "scar"),
+    # Triangular-NoP variants (Fig. 12).
+    "simba_t_shi": ("simba_t_shi", "scar"),
+    "simba_t_nvd": ("simba_t_nvd", "scar"),
+    "het_t": ("het_t", "scar"),
+    # 6x6 variants (Fig. 13) -- paired with evolutionary SEG search.
+    "simba6_shi": ("simba_shi_6x6", "scar"),
+    "simba6_nvd": ("simba_nvd_6x6", "scar"),
+    "het_cross": ("het_cross_6x6", "scar"),
+}
+
+#: The Fig. 7 / Table IV strategy set.
+CORE_STRATEGIES: tuple[str, ...] = (
+    "stand_shi", "stand_nvd", "simba_shi", "simba_nvd", "het_cb",
+    "het_sides",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Runtime knobs shared by every experiment driver.
+
+    ``fast`` presets keep CI benches to seconds/minutes; ``full`` uses the
+    paper's defaults (nsplits=4, generous budget).
+    """
+
+    budget: SearchBudget = field(default_factory=SearchBudget)
+    nsplits: int = 4
+    seg_search: str = "enumerative"
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        return cls(budget=QUICK_BUDGET, nsplits=2)
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        return cls()
+
+    def with_nsplits(self, nsplits: int) -> "ExperimentConfig":
+        return replace(self, nsplits=nsplits)
+
+
+@dataclass(frozen=True)
+class StrategyRun:
+    """Outcome of one (scenario, strategy, objective) run."""
+
+    strategy: str
+    scenario_name: str
+    objective: str
+    metrics: ScheduleMetrics
+    schedule: Schedule
+    scar_result: SCARResult | None = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.metrics.latency_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.metrics.energy_j
+
+    @property
+    def edp(self) -> float:
+        return self.metrics.edp
+
+    def value(self, metric: str) -> float:
+        """Look up latency / energy / edp by name."""
+        if metric == "latency":
+            return self.latency_s
+        if metric == "energy":
+            return self.energy_j
+        if metric == "edp":
+            return self.edp
+        raise ConfigError(f"unknown metric {metric!r}")
+
+
+class ExperimentRunner:
+    """Memoizing front-end over the schedulers for experiment drivers."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._cache: dict[tuple, StrategyRun] = {}
+        self._databases: dict[tuple, LayerCostDatabase] = {}
+
+    def _database(self, clock_hz: float) -> LayerCostDatabase:
+        key = (clock_hz,)
+        if key not in self._databases:
+            self._databases[key] = LayerCostDatabase(clock_hz=clock_hz)
+        return self._databases[key]
+
+    def run(self, scenario: Scenario, strategy: str,
+            objective: str = "edp") -> StrategyRun:
+        """Run (or fetch) one strategy on one scenario."""
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; known: "
+                f"{sorted(STRATEGIES)}")
+        key = (scenario.name, strategy, objective, self.config.nsplits,
+               self.config.budget, self.config.seg_search)
+        if key in self._cache:
+            return self._cache[key]
+
+        template, policy = STRATEGIES[strategy]
+        mcm = templates.build(template, scenario.use_case)
+        database = self._database(mcm.clock_hz)
+        scar_result: SCARResult | None = None
+        if policy == "standalone":
+            outcome = StandaloneScheduler(mcm, database).schedule(scenario)
+            metrics, schedule = outcome.metrics, outcome.schedule
+        elif policy == "nn_baton":
+            outcome = NNBatonScheduler(mcm, database=database) \
+                .schedule(scenario)
+            metrics, schedule = outcome.metrics, outcome.schedule
+        else:
+            seg_search = self.config.seg_search
+            if template.endswith("6x6"):
+                seg_search = "evolutionary"
+            scheduler = SCARScheduler(
+                mcm,
+                objective=objective_by_name(objective),
+                nsplits=self.config.nsplits,
+                budget=self.config.budget,
+                database=database,
+                seg_search=seg_search,
+            )
+            scar_result = scheduler.schedule(scenario)
+            metrics, schedule = scar_result.metrics, scar_result.schedule
+
+        run = StrategyRun(strategy=strategy, scenario_name=scenario.name,
+                          objective=objective, metrics=metrics,
+                          schedule=schedule, scar_result=scar_result)
+        self._cache[key] = run
+        return run
+
+    def run_many(self, scenario: Scenario, strategies: tuple[str, ...],
+                 objective: str = "edp") -> dict[str, StrategyRun]:
+        """Run several strategies on one scenario."""
+        return {name: self.run(scenario, name, objective)
+                for name in strategies}

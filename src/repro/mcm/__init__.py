@@ -1,0 +1,28 @@
+"""MCM hardware substrate: chiplets, topologies, package, comm and traffic."""
+
+from repro.mcm.chiplet import (
+    Chiplet,
+    arvr_chiplet,
+    chiplet_for_use_case,
+    datacenter_chiplet,
+)
+from repro.mcm.comm import CommModel, Transfer
+from repro.mcm.package import (
+    DEFAULT_CLOCK_HZ,
+    DRAM_GBPS,
+    DRAM_LATENCY_S,
+    NOP_GBPS_PER_CHIPLET,
+    NOP_HOP_LATENCY_S,
+    MCM,
+)
+from repro.mcm.templates import build, custom_mesh, template_names
+from repro.mcm.topology import Topology, mesh, triangular
+from repro.mcm.traffic import Flow, contention_factors
+
+__all__ = [
+    "Chiplet", "CommModel", "DEFAULT_CLOCK_HZ", "DRAM_GBPS",
+    "DRAM_LATENCY_S", "Flow", "MCM", "NOP_GBPS_PER_CHIPLET",
+    "NOP_HOP_LATENCY_S", "Topology", "Transfer", "arvr_chiplet", "build",
+    "chiplet_for_use_case", "contention_factors", "custom_mesh",
+    "datacenter_chiplet", "mesh", "template_names", "triangular",
+]

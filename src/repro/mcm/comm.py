@@ -1,0 +1,130 @@
+"""Inter-chiplet and off-chip communication model (``Lat_com``, Sec. III-E).
+
+Implements the paper's three-case transfer cost::
+
+    Lat_com = 0                                         same chiplet
+            = Sz/BW_nop + n_hops * Lat_hop + delta      same package
+            = Sz/BW_mem + n_hops * Lat_hop + Lat_mem + delta    off-chip
+
+``delta`` (NoP traffic conflicts) enters as a multiplicative congestion
+factor on the serialization term, produced by
+:mod:`repro.mcm.traffic`.  Energy aggregates per-bit transmission energy
+over hops plus DRAM access energy (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcm.package import MCM
+from repro.units import pj_per_bit_to_pj_per_byte
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Latency/energy of one data movement."""
+
+    latency_s: float
+    energy_j: float
+    hops: int
+    size_bytes: float
+
+    @staticmethod
+    def zero() -> "Transfer":
+        return Transfer(latency_s=0.0, energy_j=0.0, hops=0, size_bytes=0.0)
+
+    def __add__(self, other: "Transfer") -> "Transfer":
+        return Transfer(
+            latency_s=self.latency_s + other.latency_s,
+            energy_j=self.energy_j + other.energy_j,
+            hops=self.hops + other.hops,
+            size_bytes=self.size_bytes + other.size_bytes,
+        )
+
+
+class CommModel:
+    """Communication cost oracle for one MCM package.
+
+    ``dram_pj_byte`` / ``nop_pj_byte`` default to the Table II figures via
+    the package's energy table; congestion factors (``delta``) are supplied
+    by callers per-flow (1.0 = contention-free).
+    """
+
+    def __init__(self, mcm: MCM, *, nop_pj_bit: float = 2.04,
+                 dram_pj_bit: float = 14.8) -> None:
+        self.mcm = mcm
+        self.nop_pj_byte = pj_per_bit_to_pj_per_byte(nop_pj_bit)
+        self.dram_pj_byte = pj_per_bit_to_pj_per_byte(dram_pj_bit)
+
+    # -- the three Lat_com cases -----------------------------------------
+
+    def chiplet_to_chiplet(self, size_bytes: float, src: int, dst: int,
+                           congestion: float = 1.0) -> Transfer:
+        """On-package transfer between two chiplets (0 if ``src == dst``)."""
+        if src == dst or size_bytes <= 0:
+            return Transfer.zero()
+        hops = self.mcm.topology.hops(src, dst)
+        serialization = size_bytes / (self.mcm.nop_gbps * 1e9)
+        latency = serialization * max(congestion, 1.0) \
+            + hops * self.mcm.nop_hop_s
+        energy = size_bytes * self.nop_pj_byte * hops * 1e-12
+        return Transfer(latency_s=latency, energy_j=energy, hops=hops,
+                        size_bytes=size_bytes)
+
+    def offchip(self, size_bytes: float, node: int,
+                congestion: float = 1.0) -> Transfer:
+        """DRAM read or write from ``node`` via its nearest side interface."""
+        if size_bytes <= 0:
+            return Transfer.zero()
+        hops = self.mcm.io_hops(node)
+        serialization = size_bytes / (self.mcm.offchip_gbps * 1e9)
+        latency = serialization * max(congestion, 1.0) \
+            + hops * self.mcm.nop_hop_s + self.mcm.dram_latency_s
+        energy = (size_bytes * self.dram_pj_byte
+                  + size_bytes * self.nop_pj_byte * hops) * 1e-12
+        return Transfer(latency_s=latency, energy_j=energy, hops=hops,
+                        size_bytes=size_bytes)
+
+    # -- variable/fixed decomposition (for tile-granular pipelining) -------
+
+    def chiplet_parts(self, size_bytes: float, src: int, dst: int,
+                      congestion: float = 1.0) -> tuple[float, float, float]:
+        """On-package transfer split into (variable_s, fixed_s, energy_j).
+
+        The variable part scales with data volume (serialization); the
+        fixed part (hop propagation) is paid once per transfer regardless
+        of its size -- i.e. once per pipeline tile.
+        """
+        if src == dst or size_bytes <= 0:
+            return 0.0, 0.0, 0.0
+        hops = self.mcm.topology.hops(src, dst)
+        variable = size_bytes / (self.mcm.nop_gbps * 1e9) \
+            * max(congestion, 1.0)
+        fixed = hops * self.mcm.nop_hop_s
+        energy = size_bytes * self.nop_pj_byte * hops * 1e-12
+        return variable, fixed, energy
+
+    def offchip_parts(self, size_bytes: float, node: int,
+                      congestion: float = 1.0) -> tuple[float, float, float]:
+        """Off-chip transfer split into (variable_s, fixed_s, energy_j)."""
+        if size_bytes <= 0:
+            return 0.0, 0.0, 0.0
+        hops = self.mcm.io_hops(node)
+        variable = size_bytes / (self.mcm.offchip_gbps * 1e9) \
+            * max(congestion, 1.0)
+        fixed = hops * self.mcm.nop_hop_s + self.mcm.dram_latency_s
+        energy = (size_bytes * self.dram_pj_byte
+                  + size_bytes * self.nop_pj_byte * hops) * 1e-12
+        return variable, fixed, energy
+
+    def transfer(self, size_bytes: float, src: int | None, dst: int | None,
+                 congestion: float = 1.0) -> Transfer:
+        """General dispatcher: ``None`` endpoint means off-chip DRAM."""
+        if src is None and dst is None:
+            return Transfer.zero()
+        if src is None:
+            assert dst is not None
+            return self.offchip(size_bytes, dst, congestion)
+        if dst is None:
+            return self.offchip(size_bytes, src, congestion)
+        return self.chiplet_to_chiplet(size_bytes, src, dst, congestion)

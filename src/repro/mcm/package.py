@@ -1,0 +1,130 @@
+"""MCM AI accelerator package (Definition 3).
+
+``H = {C, BW_offchip, BW_nop}`` plus the NoP topology and the Table II
+micro-architecture parameters.  Chiplets on the two outer columns of the
+package carry off-chip DRAM interfaces (as in the paper, which "integrates
+memory interfaces on the sides of the outer chiplets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+from repro.mcm.chiplet import Chiplet
+from repro.mcm.topology import Topology
+
+#: Table II package/off-chip parameters (28 nm scaled).
+DRAM_LATENCY_S = 200e-9
+DRAM_PJ_PER_BIT = 14.8
+DRAM_GBPS = 64.0
+NOP_HOP_LATENCY_S = 35e-9
+NOP_PJ_PER_BIT = 2.04
+NOP_GBPS_PER_CHIPLET = 100.0
+
+#: Evaluation clock (Sec. V: "Latency estimates at 500 MHz").
+DEFAULT_CLOCK_HZ = 500e6
+
+
+@dataclass(frozen=True)
+class MCM:
+    """A multi-chip-module accelerator: chiplets + NoP + off-chip interface.
+
+    ``chiplets[i]`` sits at ``topology.position(i)``.  ``name`` identifies
+    the template for reporting (e.g. ``"het_sides_3x3"``).
+    """
+
+    name: str
+    chiplets: tuple[Chiplet, ...]
+    topology: Topology
+    offchip_gbps: float = DRAM_GBPS
+    nop_gbps: float = NOP_GBPS_PER_CHIPLET
+    nop_hop_s: float = NOP_HOP_LATENCY_S
+    dram_latency_s: float = DRAM_LATENCY_S
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if len(self.chiplets) != self.topology.num_nodes:
+            raise HardwareError(
+                f"MCM {self.name!r}: {len(self.chiplets)} chiplets for a "
+                f"{self.topology.rows}x{self.topology.cols} topology")
+        if self.offchip_gbps <= 0 or self.nop_gbps <= 0:
+            raise HardwareError("bandwidths must be positive")
+
+    # -- chiplet access ---------------------------------------------------
+
+    @property
+    def num_chiplets(self) -> int:
+        return len(self.chiplets)
+
+    def chiplet(self, node: int) -> Chiplet:
+        """Chiplet at node id ``node``."""
+        try:
+            return self.chiplets[node]
+        except IndexError:
+            raise HardwareError(
+                f"node {node} out of range for MCM {self.name!r}") from None
+
+    def dataflow_counts(self) -> dict[str, int]:
+        """``n_dfi`` of Eq. (1): chiplet count per dataflow class."""
+        counts: dict[str, int] = {}
+        for chiplet in self.chiplets:
+            counts[chiplet.dataflow] = counts.get(chiplet.dataflow, 0) + 1
+        return counts
+
+    def chiplet_classes(self) -> tuple[Chiplet, ...]:
+        """One representative chiplet per distinct class, deterministic."""
+        seen: dict[tuple, Chiplet] = {}
+        for chiplet in self.chiplets:
+            seen.setdefault(chiplet.class_key, chiplet)
+        return tuple(seen[key] for key in sorted(seen))
+
+    def nodes_with_dataflow(self, dataflow: str) -> tuple[int, ...]:
+        """Node ids whose chiplet implements ``dataflow``."""
+        return tuple(i for i, c in enumerate(self.chiplets)
+                     if c.dataflow == dataflow)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len(self.dataflow_counts()) > 1
+
+    # -- geometry / off-chip ------------------------------------------------
+
+    @property
+    def io_nodes(self) -> tuple[int, ...]:
+        """Nodes carrying an off-chip memory interface (side columns)."""
+        nodes = []
+        for node in range(self.num_chiplets):
+            _, col = self.topology.position(node)
+            if col == 0 or col == self.topology.cols - 1:
+                nodes.append(node)
+        return tuple(nodes)
+
+    def io_hops(self, node: int) -> int:
+        """Hops from ``node`` to its nearest off-chip interface."""
+        return min(self.topology.hops(node, io) for io in self.io_nodes)
+
+    def nearest_io(self, node: int) -> int:
+        """Nearest off-chip interface node (ties break to lowest id)."""
+        return min(self.io_nodes,
+                   key=lambda io: (self.topology.hops(node, io), io))
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        counts = ", ".join(f"{name}x{count}" for name, count
+                           in sorted(self.dataflow_counts().items()))
+        return (f"MCM {self.name}: {self.topology.rows}x{self.topology.cols} "
+                f"{self.topology.kind}, chiplets [{counts}], "
+                f"NoP {self.nop_gbps:g} GB/s, off-chip {self.offchip_gbps:g} "
+                f"GB/s @ {self.clock_hz / 1e6:g} MHz")
+
+    def grid_diagram(self) -> str:
+        """ASCII diagram of the dataflow pattern (for reports/examples)."""
+        rows = []
+        for r in range(self.topology.rows):
+            cells = []
+            for c in range(self.topology.cols):
+                df = self.chiplet(self.topology.node_at(r, c)).dataflow
+                cells.append(df[:3].upper())
+            rows.append(" ".join(cells))
+        return "\n".join(rows)

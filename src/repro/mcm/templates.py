@@ -1,0 +1,120 @@
+"""The MCM chiplet organizations evaluated in the paper (Fig. 6).
+
+=================  =====================================================
+template           pattern
+=================  =====================================================
+``simba_shi_3x3``  3x3 mesh, all Shi-diannao
+``simba_nvd_3x3``  3x3 mesh, all NVDLA
+``het_cb_3x3``     3x3 mesh, checkerboard (NVDLA on even parity)
+``het_sides_3x3``  3x3 mesh, NVDLA side columns, Shi centre column
+``simba_shi_6x6``  6x6 mesh, all Shi-diannao ("Simba-6")
+``simba_nvd_6x6``  6x6 mesh, all NVDLA ("Simba-6")
+``het_cross_6x6``  6x6 mesh, Shi centre cross (rows/cols 2-3), NVDLA rest
+``simba_t_shi``    3x3 triangular NoP, all Shi-diannao ("Simba-T")
+``simba_t_nvd``    3x3 triangular NoP, all NVDLA ("Simba-T")
+``het_t``          3x3 triangular NoP with the Het-Sides pattern
+``het_2x2``        2x2 mesh, 3 NVDLA + 1 Shi (the Fig. 2 motivational MCM)
+=================  =====================================================
+
+The exact Fig. 6 color assignments are not machine-readable; patterns here
+follow the names plus the paper's stated design intent (Het-Sides and
+Het-Cross "enable both homogeneous and heterogeneous inter-chiplet
+pipelining").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.mcm.chiplet import Chiplet, chiplet_for_use_case
+from repro.mcm.package import MCM
+from repro.mcm.topology import Topology, mesh, triangular
+
+NVD = "nvdla"
+SHI = "shidiannao"
+
+
+def _grid(name: str, topology: Topology, pattern: Callable[[int, int], str],
+          use_case: str) -> MCM:
+    chiplets = []
+    for node in range(topology.num_nodes):
+        row, col = topology.position(node)
+        chiplets.append(chiplet_for_use_case(pattern(row, col), use_case))
+    return MCM(name=name, chiplets=tuple(chiplets), topology=topology)
+
+
+def _homogeneous(dataflow: str) -> Callable[[int, int], str]:
+    return lambda row, col: dataflow
+
+
+def _checkerboard(row: int, col: int) -> str:
+    return NVD if (row + col) % 2 == 0 else SHI
+
+
+def _sides(cols: int) -> Callable[[int, int], str]:
+    return lambda row, col: NVD if col in (0, cols - 1) else SHI
+
+
+def _cross(rows: int, cols: int) -> Callable[[int, int], str]:
+    mid_rows = (rows // 2 - 1, rows // 2)
+    mid_cols = (cols // 2 - 1, cols // 2)
+    return lambda row, col: SHI if (row in mid_rows or col in mid_cols) \
+        else NVD
+
+
+def _motivational(row: int, col: int) -> str:
+    # 3 NVDLA-like and 1 Shi-diannao-like (Sec. II-C).
+    return SHI if (row, col) == (1, 1) else NVD
+
+
+_TEMPLATES: dict[str, Callable[[str], MCM]] = {
+    "simba_shi_3x3": lambda uc: _grid("simba_shi_3x3", mesh(3, 3),
+                                      _homogeneous(SHI), uc),
+    "simba_nvd_3x3": lambda uc: _grid("simba_nvd_3x3", mesh(3, 3),
+                                      _homogeneous(NVD), uc),
+    "het_cb_3x3": lambda uc: _grid("het_cb_3x3", mesh(3, 3),
+                                   _checkerboard, uc),
+    "het_sides_3x3": lambda uc: _grid("het_sides_3x3", mesh(3, 3),
+                                      _sides(3), uc),
+    "simba_shi_6x6": lambda uc: _grid("simba_shi_6x6", mesh(6, 6),
+                                      _homogeneous(SHI), uc),
+    "simba_nvd_6x6": lambda uc: _grid("simba_nvd_6x6", mesh(6, 6),
+                                      _homogeneous(NVD), uc),
+    "het_cross_6x6": lambda uc: _grid("het_cross_6x6", mesh(6, 6),
+                                      _cross(6, 6), uc),
+    "simba_t_shi": lambda uc: _grid("simba_t_shi", triangular(3, 3),
+                                    _homogeneous(SHI), uc),
+    "simba_t_nvd": lambda uc: _grid("simba_t_nvd", triangular(3, 3),
+                                    _homogeneous(NVD), uc),
+    "het_t": lambda uc: _grid("het_t", triangular(3, 3), _sides(3), uc),
+    "het_2x2": lambda uc: _grid("het_2x2", mesh(2, 2), _motivational, uc),
+}
+
+
+def template_names() -> tuple[str, ...]:
+    """All known template names."""
+    return tuple(sorted(_TEMPLATES))
+
+
+def build(name: str, use_case: str = "datacenter") -> MCM:
+    """Build a Fig. 6 template at the given use-case operating point."""
+    try:
+        builder = _TEMPLATES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown MCM template {name!r}; known: {template_names()}"
+        ) from None
+    return builder(use_case)
+
+
+def custom_mesh(name: str, rows: int, cols: int, dataflows: list[str],
+                use_case: str = "datacenter") -> MCM:
+    """Build an arbitrary mesh MCM from a row-major dataflow list."""
+    topo = mesh(rows, cols)
+    if len(dataflows) != topo.num_nodes:
+        raise ConfigError(
+            f"need {topo.num_nodes} dataflows for {rows}x{cols}, "
+            f"got {len(dataflows)}")
+    chiplets = tuple(chiplet_for_use_case(df, use_case) for df in dataflows)
+    return MCM(name=name, chiplets=chiplets, topology=topo)

@@ -1,0 +1,61 @@
+"""Unit helpers shared across the cost models.
+
+The paper mixes several unit systems (Table II reports ns, pJ/bit and GB/s;
+results are reported in seconds, joules and J*s at a 500 MHz clock).  All
+internal models work in *cycles*, *bytes* and *picojoules*; this module holds
+the conversion helpers and the few physical constants that are not part of a
+configurable hardware description.
+"""
+
+from __future__ import annotations
+
+# Storage units -------------------------------------------------------------
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+# Time units (seconds) ------------------------------------------------------
+
+NS: float = 1e-9
+US: float = 1e-6
+MS: float = 1e-3
+
+# Energy units (joules) -----------------------------------------------------
+
+PJ: float = 1e-12
+NJ: float = 1e-9
+MJ: float = 1e-3
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to (fractional) cycles at the given clock frequency."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def gbps_to_bytes_per_cycle(gb_per_s: float, clock_hz: float) -> float:
+    """Convert a GB/s bandwidth figure to bytes per clock cycle."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return gb_per_s * 1e9 / clock_hz
+
+
+def pj_per_bit_to_pj_per_byte(pj_per_bit: float) -> float:
+    """Convert an energy-per-bit figure to energy per byte."""
+    return pj_per_bit * 8.0
+
+
+def transfer_seconds(size_bytes: float, gb_per_s: float) -> float:
+    """Serialization latency of moving ``size_bytes`` over a GB/s link."""
+    if gb_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {gb_per_s}")
+    return size_bytes / (gb_per_s * 1e9)

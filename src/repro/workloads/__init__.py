@@ -1,0 +1,32 @@
+"""Workload substrate: layer IR, models, zoo and the Table III scenarios."""
+
+from repro.workloads.layer import (
+    Layer,
+    LayerOp,
+    conv,
+    dwconv,
+    elemwise,
+    gemm,
+    pool,
+)
+from repro.workloads.model import (
+    Model,
+    ModelInstance,
+    Scenario,
+    scheduling_space_magnitude,
+)
+from repro.workloads.scenarios import (
+    ARVR_IDS,
+    DATACENTER_IDS,
+    arvr_scenarios,
+    datacenter_scenarios,
+    scenario,
+    scenario_ids,
+)
+
+__all__ = [
+    "ARVR_IDS", "DATACENTER_IDS", "Layer", "LayerOp", "Model",
+    "ModelInstance", "Scenario", "arvr_scenarios", "conv",
+    "datacenter_scenarios", "dwconv", "elemwise", "gemm", "pool",
+    "scenario", "scenario_ids", "scheduling_space_magnitude",
+]

@@ -1,0 +1,75 @@
+"""Model zoo: every model used by the paper's ten scenarios (Table III).
+
+Models are built lazily and cached per argument set; building a model is
+pure (no I/O) and deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.model import Model
+from repro.workloads.zoo.googlenet import googlenet
+from repro.workloads.zoo.resnet import resnet50, resnet_block2_slice
+from repro.workloads.zoo.transformers import (
+    bert_base,
+    bert_large,
+    emformer,
+    gpt2_ffn_layer,
+    gpt_l,
+    transformer,
+)
+from repro.workloads.zoo.unet import unet
+from repro.workloads.zoo.xr import (
+    d2go,
+    eyecod,
+    hand_sp,
+    hrvit,
+    midas,
+    planercnn,
+    sp2dense,
+)
+
+_BUILDERS: dict[str, Callable[[], Model]] = {
+    "resnet50": resnet50,
+    "unet": unet,
+    "googlenet": googlenet,
+    "gpt_l": gpt_l,
+    "bert_large": bert_large,
+    "bert_base": bert_base,
+    "emformer": emformer,
+    "d2go": d2go,
+    "planercnn": planercnn,
+    "midas": midas,
+    "hrvit": hrvit,
+    "hand_sp": hand_sp,
+    "eyecod": eyecod,
+    "sp2dense": sp2dense,
+}
+
+
+def model_names() -> tuple[str, ...]:
+    """Names of every model available in the zoo."""
+    return tuple(sorted(_BUILDERS))
+
+
+@lru_cache(maxsize=None)
+def build(name: str) -> Model:
+    """Build (and cache) a zoo model by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown model {name!r}; available: {', '.join(model_names())}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "bert_base", "bert_large", "build", "d2go", "emformer", "eyecod",
+    "googlenet", "gpt2_ffn_layer", "gpt_l", "hand_sp", "hrvit", "midas",
+    "model_names", "planercnn", "resnet50", "resnet_block2_slice",
+    "sp2dense", "transformer", "unet",
+]

@@ -1,0 +1,60 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al. 2015) at layer granularity.
+
+Inception branches are flattened into a topologically-sorted conv sequence
+(a valid linearization of the DAG); concatenations are free at this
+granularity.  Input resolution 224x224x3 as in the paper's Scenario 5.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Layer, conv, gemm, pool
+from repro.workloads.model import Model
+
+#: Inception module channel specs: (in, 1x1, 3x3red, 3x3, 5x5red, 5x5, pool)
+_INCEPTION: tuple[tuple[str, int, int, int, int, int, int, int, int], ...] = (
+    # name, c_in, b1, b2r, b2, b3r, b3, b4, spatial
+    ("3a", 192, 64, 96, 128, 16, 32, 32, 28),
+    ("3b", 256, 128, 128, 192, 32, 96, 64, 28),
+    ("4a", 480, 192, 96, 208, 16, 48, 64, 14),
+    ("4b", 512, 160, 112, 224, 24, 64, 64, 14),
+    ("4c", 512, 128, 128, 256, 24, 64, 64, 14),
+    ("4d", 512, 112, 144, 288, 32, 64, 64, 14),
+    ("4e", 528, 256, 160, 320, 32, 128, 128, 14),
+    ("5a", 832, 256, 160, 320, 32, 128, 128, 7),
+    ("5b", 832, 384, 192, 384, 48, 128, 128, 7),
+)
+
+
+def _inception(layers: list[Layer], name: str, c_in: int, b1: int, b2r: int,
+               b2: int, b3r: int, b3: int, b4: int, spatial: int) -> None:
+    """Append one inception module as six conv layers."""
+    layers.append(conv(f"i{name}_b1", c=c_in, k=b1, y=spatial, x=spatial, r=1))
+    layers.append(conv(f"i{name}_b2r", c=c_in, k=b2r, y=spatial, x=spatial,
+                       r=1))
+    layers.append(conv(f"i{name}_b2", c=b2r, k=b2, y=spatial, x=spatial, r=3))
+    layers.append(conv(f"i{name}_b3r", c=c_in, k=b3r, y=spatial, x=spatial,
+                       r=1))
+    layers.append(conv(f"i{name}_b3", c=b3r, k=b3, y=spatial, x=spatial, r=5))
+    layers.append(conv(f"i{name}_b4", c=c_in, k=b4, y=spatial, x=spatial, r=1))
+
+
+def googlenet(input_size: int = 224) -> Model:
+    """Build GoogLeNet at the given square input resolution."""
+    if input_size != 224:
+        raise NotImplementedError("googlenet is defined at 224x224 only")
+    layers: list[Layer] = [
+        conv("stem_conv1", c=3, k=64, y=112, x=112, r=7, stride=2),
+        pool("stem_pool1", c=64, y=56, x=56, r=3, stride=2),
+        conv("stem_conv2", c=64, k=64, y=56, x=56, r=1),
+        conv("stem_conv3", c=64, k=192, y=56, x=56, r=3),
+        pool("stem_pool2", c=192, y=28, x=28, r=3, stride=2),
+    ]
+    for spec in _INCEPTION:
+        _inception(layers, *spec)
+        if spec[0] == "3b":
+            layers.append(pool("pool3", c=480, y=14, x=14, r=3, stride=2))
+        elif spec[0] == "4e":
+            layers.append(pool("pool4", c=832, y=7, x=7, r=3, stride=2))
+    layers.append(pool("head_pool", c=1024, y=1, x=1, r=7, stride=1))
+    layers.append(gemm("head_fc", m=1, n_out=1000, k_in=1024))
+    return Model(name="googlenet", layers=tuple(layers))

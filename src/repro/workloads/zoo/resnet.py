@@ -1,0 +1,69 @@
+"""ResNet-50 (He et al. 2015) at layer granularity.
+
+Built at the paper's datacenter input resolution (224x224x3).  The layer
+list contains every convolution (including downsample projections), the stem
+pooling, the residual adds and the final FC -- 72 schedulable layers, close
+to the 66 the paper reports in Table VI (exact counting of auxiliary ops
+differs between frameworks).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Layer, conv, elemwise, gemm, pool
+from repro.workloads.model import Model
+
+#: (blocks, in channels, bottleneck width, out channels, output spatial)
+_STAGES: tuple[tuple[int, int, int, int, int], ...] = (
+    (3, 64, 64, 256, 56),
+    (4, 256, 128, 512, 28),
+    (6, 512, 256, 1024, 14),
+    (3, 1024, 512, 2048, 7),
+)
+
+
+def _bottleneck(layers: list[Layer], stage: int, block: int, c_in: int,
+                width: int, c_out: int, spatial: int, downsample: bool) -> None:
+    """Append one bottleneck block (1x1 -> 3x3 -> 1x1 + residual)."""
+    prefix = f"s{stage}b{block}"
+    stride = 2 if downsample and stage > 1 else 1
+    layers.append(conv(f"{prefix}_conv1", c=c_in, k=width, y=spatial,
+                       x=spatial, r=1, stride=stride))
+    layers.append(conv(f"{prefix}_conv2", c=width, k=width, y=spatial,
+                       x=spatial, r=3))
+    layers.append(conv(f"{prefix}_conv3", c=width, k=c_out, y=spatial,
+                       x=spatial, r=1))
+    if downsample:
+        layers.append(conv(f"{prefix}_down", c=c_in, k=c_out, y=spatial,
+                           x=spatial, r=1, stride=stride))
+    layers.append(elemwise(f"{prefix}_add", k=c_out, y=spatial, x=spatial))
+
+
+def resnet50(input_size: int = 224) -> Model:
+    """Build ResNet-50 at the given square input resolution."""
+    scale = input_size / 224.0
+    layers: list[Layer] = []
+    stem = max(int(round(112 * scale)), 1)
+    layers.append(conv("stem_conv", c=3, k=64, y=stem, x=stem, r=7, stride=2))
+    layers.append(pool("stem_pool", c=64, y=stem // 2, x=stem // 2, r=3,
+                       stride=2))
+    for stage_idx, (blocks, c_in, width, c_out, spatial224) in enumerate(
+            _STAGES, start=1):
+        spatial = max(int(round(spatial224 * scale)), 1)
+        for block in range(blocks):
+            _bottleneck(layers, stage_idx, block, c_in if block == 0 else c_out,
+                        width, c_out, spatial, downsample=(block == 0))
+    layers.append(pool("head_pool", c=2048, y=1, x=1, r=7, stride=1))
+    layers.append(gemm("head_fc", m=1, n_out=1000, k_in=2048))
+    return Model(name="resnet50", layers=tuple(layers))
+
+
+def resnet_block2_slice(num_layers: int = 3) -> tuple[Layer, ...]:
+    """The first ``num_layers`` convs of ResNet-50's second block.
+
+    Used by the Fig. 2 motivational study ("3 layers from the second
+    ResNet-50 block").
+    """
+    model = resnet50()
+    convs = [layer for layer in model.layers
+             if layer.name.startswith("s2b0_conv")]
+    return tuple(convs[:num_layers])

@@ -1,0 +1,98 @@
+"""Transformer language/speech models decomposed into GEMM layers.
+
+SCAR schedules transformer blocks as GEMM layer sequences.  Two
+decomposition granularities are supported:
+
+``full``
+    five layers per block: QKV projection, fused attention matmuls
+    (scores + context), output projection, FFN up, FFN down.
+``fused``
+    three layers per block: fused attention (QKV + matmuls + projection as
+    one GEMM-equivalent), FFN up, FFN down.
+
+Layer counts approximate the paper's Table VI (GPT-L 120 layers, BERT-L 60):
+``gpt_l`` uses 24 blocks x 5 = 120 layers; ``bert_large`` uses 24 blocks x 3
+(= 72, the closest clean decomposition to the paper's 60).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.layer import Layer, gemm
+from repro.workloads.model import Model
+
+
+def _attention_full(layers: list[Layer], prefix: str, seq_len: int,
+                    d_model: int) -> None:
+    """QKV projection + fused attention matmuls + output projection."""
+    layers.append(gemm(f"{prefix}_qkv", m=seq_len, n_out=3 * d_model,
+                       k_in=d_model))
+    # Scores (M x M over d) and context (M x d over M) fused into one layer
+    # with the combined reduction work: MACs = 2 * M^2 * d.
+    layers.append(gemm(f"{prefix}_attn", m=seq_len, n_out=2 * seq_len,
+                       k_in=d_model))
+    layers.append(gemm(f"{prefix}_proj", m=seq_len, n_out=d_model,
+                       k_in=d_model))
+
+
+def _attention_fused(layers: list[Layer], prefix: str, seq_len: int,
+                     d_model: int) -> None:
+    """Whole attention sub-block as one GEMM-equivalent layer.
+
+    Combined MACs: QKV (3*d^2*M) + matmuls (2*M^2*d) + proj (d^2*M) folded
+    into an M x (4*d + 2*M) x d GEMM.
+    """
+    layers.append(gemm(f"{prefix}_attn", m=seq_len,
+                       n_out=4 * d_model + 2 * seq_len, k_in=d_model))
+
+
+def transformer(name: str, *, blocks: int, d_model: int, seq_len: int,
+                ffn_mult: int = 4, decomposition: str = "full",
+                head_dim_out: int = 0) -> Model:
+    """Build a transformer encoder/decoder stack as a GEMM-layer model."""
+    if decomposition not in ("full", "fused"):
+        raise WorkloadError(f"unknown decomposition {decomposition!r}")
+    layers: list[Layer] = []
+    for block in range(blocks):
+        prefix = f"b{block}"
+        if decomposition == "full":
+            _attention_full(layers, prefix, seq_len, d_model)
+        else:
+            _attention_fused(layers, prefix, seq_len, d_model)
+        layers.append(gemm(f"{prefix}_ffn_up", m=seq_len,
+                           n_out=ffn_mult * d_model, k_in=d_model))
+        layers.append(gemm(f"{prefix}_ffn_down", m=seq_len, n_out=d_model,
+                           k_in=ffn_mult * d_model))
+    if head_dim_out:
+        layers.append(gemm("head", m=seq_len, n_out=head_dim_out,
+                           k_in=d_model))
+    return Model(name=name, layers=tuple(layers))
+
+
+def gpt_l(seq_len: int = 128) -> Model:
+    """GPT-L (GPT-2-class decoder): 24 blocks, d=1280, 120 GEMM layers."""
+    return transformer("gpt_l", blocks=24, d_model=1280, seq_len=seq_len,
+                       decomposition="full")
+
+
+def bert_large(seq_len: int = 128) -> Model:
+    """BERT-Large: 24 blocks, d=1024, fused attention (72 layers)."""
+    return transformer("bert_large", blocks=24, d_model=1024, seq_len=seq_len,
+                       decomposition="fused")
+
+
+def bert_base(seq_len: int = 128) -> Model:
+    """BERT-Base: 12 blocks, d=768, fused attention (36 layers)."""
+    return transformer("bert_base", blocks=12, d_model=768, seq_len=seq_len,
+                       decomposition="fused")
+
+
+def emformer(seq_len: int = 64) -> Model:
+    """Emformer streaming speech recognizer: 20 blocks, d=512 (60 layers)."""
+    return transformer("emformer", blocks=20, d_model=512, seq_len=seq_len,
+                       decomposition="fused", head_dim_out=4096)
+
+
+def gpt2_ffn_layer(seq_len: int = 128, d_model: int = 1280) -> Layer:
+    """The single GPT feed-forward layer used in the Fig. 2 study."""
+    return gemm("gpt2_ffn", m=seq_len, n_out=4 * d_model, k_in=d_model)

@@ -1,0 +1,54 @@
+"""U-Net (Ronneberger et al. 2015) at layer granularity.
+
+Built at the paper's input resolution (512x512x1).  The classic topology --
+four encoder levels of two 3x3 convs, a two-conv bottleneck, four decoder
+levels of (up-conv + two 3x3 convs) and a final 1x1 conv -- yields exactly
+the 23 layers the paper reports in Table VI.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Layer, conv
+from repro.workloads.model import Model
+
+
+def unet(input_size: int = 512, base_channels: int = 64) -> Model:
+    """Build the 23-layer U-Net at the given square input resolution."""
+    layers: list[Layer] = []
+    skips: list[tuple[int, int]] = []
+    size = input_size
+    channels = base_channels
+    c_in = 1
+    skip_sources: list[int] = []
+
+    # Encoder: 4 levels x 2 convs.
+    for level in range(4):
+        layers.append(conv(f"enc{level}_conv1", c=c_in, k=channels,
+                           y=size, x=size, r=3))
+        layers.append(conv(f"enc{level}_conv2", c=channels, k=channels,
+                           y=size, x=size, r=3))
+        skip_sources.append(len(layers) - 1)
+        c_in = channels
+        channels *= 2
+        size //= 2
+
+    # Bottleneck: 2 convs.
+    layers.append(conv("mid_conv1", c=c_in, k=channels, y=size, x=size, r=3))
+    layers.append(conv("mid_conv2", c=channels, k=channels, y=size, x=size,
+                       r=3))
+
+    # Decoder: 4 levels x (up-conv + 2 convs); skip concat doubles input C.
+    for level in range(3, -1, -1):
+        size *= 2
+        up_out = channels // 2
+        layers.append(conv(f"dec{level}_up", c=channels, k=up_out,
+                           y=size, x=size, r=2))
+        skips.append((skip_sources[level], len(layers)))
+        layers.append(conv(f"dec{level}_conv1", c=up_out * 2, k=up_out,
+                           y=size, x=size, r=3))
+        layers.append(conv(f"dec{level}_conv2", c=up_out, k=up_out,
+                           y=size, x=size, r=3))
+        channels = up_out
+
+    layers.append(conv("head_conv", c=channels, k=2, y=size, x=size, r=1))
+    return Model(name="unet", layers=tuple(layers), skip_edges=tuple(skips))

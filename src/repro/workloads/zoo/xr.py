@@ -1,0 +1,204 @@
+"""XRBench-style AR/VR model suite (Kwon et al. 2023).
+
+Layer-accurate definitions of several XRBench models are not public, so each
+model here is a synthesized layer stack that matches the *class* of its
+backbone (documented per function) at XRBench's input resolutions.  What the
+scheduler cares about -- layer counts, MAC/byte distribution and the
+spatial-heavy vs channel-heavy mix -- follows the cited architectures.
+See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import Layer, conv, dwconv, elemwise, gemm, pool
+from repro.workloads.model import Model
+from repro.workloads.zoo.transformers import transformer
+
+
+def _inverted_residual(layers: list[Layer], prefix: str, c_in: int,
+                       c_out: int, spatial: int, expand: int = 4,
+                       stride: int = 1) -> None:
+    """MobileNet/FBNet-style inverted residual: pw-expand, dw, pw-project."""
+    hidden = c_in * expand
+    layers.append(conv(f"{prefix}_pw1", c=c_in, k=hidden, y=spatial,
+                       x=spatial, r=1, stride=stride))
+    layers.append(dwconv(f"{prefix}_dw", c=hidden, y=spatial, x=spatial, r=3))
+    layers.append(conv(f"{prefix}_pw2", c=hidden, k=c_out, y=spatial,
+                       x=spatial, r=1))
+    if stride == 1 and c_in == c_out:
+        layers.append(elemwise(f"{prefix}_add", k=c_out, y=spatial, x=spatial))
+
+
+def d2go() -> Model:
+    """D2GO object detector: FBNet-style backbone + SSD-like head, 320x320."""
+    layers: list[Layer] = [
+        conv("stem", c=3, k=16, y=160, x=160, r=3, stride=2),
+    ]
+    stages = ((16, 24, 80, 2), (24, 40, 40, 3), (40, 80, 20, 3),
+              (80, 112, 20, 2), (112, 192, 10, 3))
+    for stage_idx, (c_in, c_out, spatial, blocks) in enumerate(stages):
+        for block in range(blocks):
+            _inverted_residual(
+                layers, f"s{stage_idx}b{block}",
+                c_in if block == 0 else c_out, c_out, spatial,
+                stride=2 if block == 0 else 1)
+    for head in range(4):
+        spatial = max(20 >> head, 2)
+        layers.append(conv(f"head{head}_cls", c=192 if head == 0 else 256,
+                           k=256, y=spatial, x=spatial, r=3))
+        layers.append(conv(f"head{head}_box", c=256, k=24, y=spatial,
+                           x=spatial, r=3))
+    return Model(name="d2go", layers=tuple(layers))
+
+
+def planercnn() -> Model:
+    """PlaneRCNN plane detector: ResNet-FPN-style backbone + heads, 480x640."""
+    layers: list[Layer] = [
+        conv("stem", c=3, k=64, y=240, x=320, r=7, stride=2),
+        pool("stem_pool", c=64, y=120, x=160, r=3, stride=2),
+    ]
+    stages = ((64, 256, 120, 160, 3), (256, 512, 60, 80, 4),
+              (512, 1024, 30, 40, 6), (1024, 2048, 15, 20, 3))
+    for stage_idx, (c_in, c_out, y, x, blocks) in enumerate(stages, start=1):
+        width = c_out // 4
+        for block in range(blocks):
+            prefix = f"s{stage_idx}b{block}"
+            cin_b = c_in if block == 0 else c_out
+            layers.append(conv(f"{prefix}_c1", c=cin_b, k=width, y=y, x=x,
+                               r=1))
+            layers.append(conv(f"{prefix}_c2", c=width, k=width, y=y, x=x,
+                               r=3))
+            layers.append(conv(f"{prefix}_c3", c=width, k=c_out, y=y, x=x,
+                               r=1))
+    for level in range(4):
+        y, x = 120 >> level, 160 >> level
+        layers.append(conv(f"fpn{level}_lat", c=256 * (2 ** level), k=256,
+                           y=y, x=x, r=1))
+        layers.append(conv(f"fpn{level}_out", c=256, k=256, y=y, x=x, r=3))
+    layers.append(conv("mask_head1", c=256, k=256, y=28, x=28, r=3))
+    layers.append(conv("mask_head2", c=256, k=256, y=28, x=28, r=3))
+    layers.append(conv("plane_head", c=256, k=3, y=28, x=28, r=1))
+    return Model(name="planercnn", layers=tuple(layers))
+
+
+def midas() -> Model:
+    """MiDaS monocular depth estimator: ResNet encoder + decoder, 384x384."""
+    layers: list[Layer] = [
+        conv("stem", c=3, k=64, y=192, x=192, r=7, stride=2),
+        pool("stem_pool", c=64, y=96, x=96, r=3, stride=2),
+    ]
+    stages = ((64, 128, 96, 3), (128, 256, 48, 4), (256, 512, 24, 6),
+              (512, 1024, 12, 3))
+    for stage_idx, (c_in, c_out, spatial, blocks) in enumerate(stages,
+                                                               start=1):
+        for block in range(blocks):
+            prefix = f"e{stage_idx}b{block}"
+            cin_b = c_in if block == 0 else c_out
+            layers.append(conv(f"{prefix}_c1", c=cin_b, k=c_out, y=spatial,
+                               x=spatial, r=3))
+            layers.append(conv(f"{prefix}_c2", c=c_out, k=c_out, y=spatial,
+                               x=spatial, r=3))
+    # Refinement decoder: fuse + upsample at each scale.
+    for level, (c_io, spatial) in enumerate(((1024, 24), (512, 48),
+                                             (256, 96), (128, 192))):
+        layers.append(conv(f"d{level}_fuse", c=c_io, k=c_io // 2, y=spatial,
+                           x=spatial, r=3))
+        layers.append(conv(f"d{level}_ref", c=c_io // 2, k=c_io // 2,
+                           y=spatial, x=spatial, r=3))
+    layers.append(conv("head", c=64, k=1, y=384, x=384, r=3))
+    return Model(name="midas", layers=tuple(layers))
+
+
+def hrvit() -> Model:
+    """HRViT-b1 semantic segmentation: conv stem + ViT blocks, 512x512."""
+    layers: list[Layer] = [
+        conv("stem1", c=3, k=32, y=256, x=256, r=3, stride=2),
+        conv("stem2", c=32, k=64, y=128, x=128, r=3, stride=2),
+    ]
+    # Multi-resolution transformer stages (tokens = spatial**2).
+    for stage_idx, (tokens, d_model, blocks) in enumerate(
+            ((1024, 128, 2), (256, 256, 4), (64, 512, 6))):
+        stage = transformer(f"hrvit_s{stage_idx}", blocks=blocks,
+                            d_model=d_model, seq_len=tokens,
+                            decomposition="fused")
+        for layer in stage.layers:
+            layers.append(layer.scaled(f"s{stage_idx}_{layer.name}"))
+        layers.append(conv(f"s{stage_idx}_merge", c=d_model,
+                           k=min(d_model * 2, 512),
+                           y=max(32 >> stage_idx, 8),
+                           x=max(32 >> stage_idx, 8), r=3))
+    layers.append(conv("seg_head1", c=512, k=256, y=128, x=128, r=3))
+    layers.append(conv("seg_head2", c=256, k=19, y=128, x=128, r=1))
+    return Model(name="hrvit", layers=tuple(layers))
+
+
+def hand_sp() -> Model:
+    """3D hand shape/pose (Ge et al. 2019): hourglass-style CNN, 224x224."""
+    layers: list[Layer] = [
+        conv("stem", c=3, k=32, y=112, x=112, r=7, stride=2),
+        pool("stem_pool", c=32, y=56, x=56, r=2, stride=2),
+    ]
+    channels = 32
+    spatial = 56
+    for level in range(3):
+        layers.append(conv(f"down{level}_c1", c=channels, k=channels * 2,
+                           y=spatial, x=spatial, r=3, stride=1))
+        layers.append(conv(f"down{level}_c2", c=channels * 2, k=channels * 2,
+                           y=spatial // 2, x=spatial // 2, r=3, stride=2))
+        channels *= 2
+        spatial //= 2
+    for level in range(3):
+        spatial *= 2
+        layers.append(conv(f"up{level}_c1", c=channels, k=channels // 2,
+                           y=spatial, x=spatial, r=3))
+        layers.append(conv(f"up{level}_c2", c=channels // 2, k=channels // 2,
+                           y=spatial, x=spatial, r=3))
+        channels //= 2
+    layers.append(conv("heat_head", c=32, k=21, y=56, x=56, r=1))
+    layers.append(gemm("pose_fc1", m=1, n_out=512, k_in=21 * 56 * 56 // 16))
+    layers.append(gemm("pose_fc2", m=1, n_out=63, k_in=512))
+    return Model(name="hand_sp", layers=tuple(layers))
+
+
+def eyecod() -> Model:
+    """EyeCOD gaze estimation: compact CNN on flatcam captures, 128x128."""
+    layers: list[Layer] = [
+        conv("stem", c=1, k=16, y=64, x=64, r=5, stride=2),
+    ]
+    channels = 16
+    spatial = 64
+    for level in range(4):
+        layers.append(conv(f"b{level}_c1", c=channels, k=channels * 2,
+                           y=spatial // 2, x=spatial // 2, r=3, stride=2))
+        layers.append(conv(f"b{level}_c2", c=channels * 2, k=channels * 2,
+                           y=spatial // 2, x=spatial // 2, r=3))
+        channels *= 2
+        spatial //= 2
+    layers.append(pool("head_pool", c=channels, y=1, x=1, r=4, stride=1))
+    layers.append(gemm("gaze_fc1", m=1, n_out=128, k_in=channels))
+    layers.append(gemm("gaze_fc2", m=1, n_out=3, k_in=128))
+    return Model(name="eyecod", layers=tuple(layers))
+
+
+def sp2dense() -> Model:
+    """Sparse-to-dense depth refinement: ResNet-18-style encoder-decoder."""
+    layers: list[Layer] = [
+        conv("stem", c=4, k=64, y=112, x=152, r=7, stride=2),
+        pool("stem_pool", c=64, y=56, x=76, r=3, stride=2),
+    ]
+    stages = ((64, 64, 56, 76, 2), (64, 128, 28, 38, 2),
+              (128, 256, 14, 19, 2), (256, 512, 7, 10, 2))
+    for stage_idx, (c_in, c_out, y, x, blocks) in enumerate(stages, start=1):
+        for block in range(blocks):
+            prefix = f"e{stage_idx}b{block}"
+            cin_b = c_in if block == 0 else c_out
+            layers.append(conv(f"{prefix}_c1", c=cin_b, k=c_out, y=y, x=x,
+                               r=3))
+            layers.append(conv(f"{prefix}_c2", c=c_out, k=c_out, y=y, x=x,
+                               r=3))
+    for level, (c_io, y, x) in enumerate(((512, 14, 19), (256, 28, 38),
+                                          (128, 56, 76), (64, 112, 152))):
+        layers.append(conv(f"d{level}_up", c=c_io, k=c_io // 2, y=y, x=x,
+                           r=3))
+    layers.append(conv("head", c=32, k=1, y=224, x=304, r=3))
+    return Model(name="sp2dense", layers=tuple(layers))

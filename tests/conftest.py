@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic workloads and MCMs for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.dataflow.database import LayerCostDatabase
+from repro.mcm import templates
+from repro.workloads.layer import conv, gemm
+from repro.workloads.model import Model, ModelInstance, Scenario
+
+
+@pytest.fixture
+def tiny_conv_model() -> Model:
+    """A 4-layer conv model (spatial-heavy: Shi-affine)."""
+    return Model(name="tinyconv", layers=(
+        conv("c0", c=3, k=16, y=32, x=32, r=3),
+        conv("c1", c=16, k=32, y=16, x=16, r=3, stride=2),
+        conv("c2", c=32, k=32, y=16, x=16, r=3),
+        conv("c3", c=32, k=64, y=8, x=8, r=3, stride=2),
+    ))
+
+
+@pytest.fixture
+def tiny_gemm_model() -> Model:
+    """A 3-layer GEMM model (channel-heavy: NVDLA-affine)."""
+    return Model(name="tinygemm", layers=(
+        gemm("g0", m=32, n_out=512, k_in=256),
+        gemm("g1", m=32, n_out=1024, k_in=512),
+        gemm("g2", m=32, n_out=256, k_in=1024),
+    ))
+
+
+@pytest.fixture
+def tiny_scenario(tiny_conv_model, tiny_gemm_model) -> Scenario:
+    """Two small models, one batched."""
+    return Scenario(name="tiny", instances=(
+        ModelInstance(tiny_conv_model, 4),
+        ModelInstance(tiny_gemm_model, 2),
+    ))
+
+
+@pytest.fixture
+def het_mcm():
+    """Het-Sides 3x3 at the datacenter operating point."""
+    return templates.build("het_sides_3x3")
+
+
+@pytest.fixture
+def nvd_mcm():
+    """Homogeneous NVDLA 3x3."""
+    return templates.build("simba_nvd_3x3")
+
+
+@pytest.fixture
+def het_2x2():
+    """The Fig. 2 motivational 2x2 MCM."""
+    return templates.build("het_2x2")
+
+
+@pytest.fixture
+def database():
+    """A fresh 500 MHz layer-cost database."""
+    return LayerCostDatabase(clock_hz=500e6)
+
+
+@pytest.fixture
+def small_budget() -> SearchBudget:
+    """Tight search budget for fast engine tests."""
+    return SearchBudget(top_k_segmentations=2, max_segment_candidates=16,
+                        max_root_combos=4, max_paths_per_model=4,
+                        max_candidates_per_window=40, seed=1)

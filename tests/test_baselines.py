@@ -1,0 +1,71 @@
+"""Unit tests for the baseline schedulers."""
+
+import pytest
+
+from repro.core.baselines import NNBatonScheduler, StandaloneScheduler
+from repro.errors import SchedulingError
+from repro.workloads.model import ModelInstance, Scenario
+
+
+class TestStandalone:
+    def test_one_chiplet_per_model(self, tiny_scenario, nvd_mcm):
+        result = StandaloneScheduler(nvd_mcm).schedule(tiny_scenario)
+        result.schedule.validate(tiny_scenario)
+        assert result.schedule.num_windows == 1
+        window = result.schedule.windows[0]
+        assert len(window.chains) == 2
+        for model, chain in enumerate(window.chains):
+            assert len(chain) == 1
+            assert chain[0].node == model
+
+    def test_concurrent_latency_is_max(self, tiny_scenario, nvd_mcm):
+        result = StandaloneScheduler(nvd_mcm).schedule(tiny_scenario)
+        window = result.metrics.windows[0]
+        assert window.latency_s == pytest.approx(
+            max(m.latency_s for m in window.per_model))
+
+    def test_too_many_models_rejected(self, tiny_conv_model,
+                                      tiny_gemm_model, het_2x2):
+        instances = tuple(
+            ModelInstance(tiny_conv_model.layers and tiny_conv_model, 1)
+            for _ in range(1))
+        # Build a 5-model scenario for a 4-chiplet MCM.
+        from repro.workloads.layer import conv
+        from repro.workloads.model import Model
+        models = tuple(
+            ModelInstance(Model(name=f"m{i}", layers=(
+                conv("l", c=2, k=2, y=2, x=2),)), 1)
+            for i in range(5))
+        scenario = Scenario(name="wide", instances=models)
+        with pytest.raises(SchedulingError):
+            StandaloneScheduler(het_2x2).schedule(scenario)
+
+
+class TestNNBaton:
+    def test_sequential_windows(self, tiny_scenario, nvd_mcm):
+        result = NNBatonScheduler(nvd_mcm).schedule(tiny_scenario)
+        result.schedule.validate(tiny_scenario)
+        assert result.schedule.num_windows == len(tiny_scenario)
+        for window in result.schedule.windows:
+            assert len(window.chains) == 1
+            assert window.chains[0][0].node == 0
+
+    def test_sequential_latency_is_sum(self, tiny_scenario, nvd_mcm):
+        nn = NNBatonScheduler(nvd_mcm).schedule(tiny_scenario)
+        stand = StandaloneScheduler(nvd_mcm).schedule(tiny_scenario)
+        # Sequential execution sums model latencies; concurrent takes max.
+        assert nn.metrics.latency_s > stand.metrics.latency_s
+
+    def test_custom_start_node(self, tiny_scenario, nvd_mcm):
+        result = NNBatonScheduler(nvd_mcm, start_node=4) \
+            .schedule(tiny_scenario)
+        assert all(w.chains[0][0].node == 4
+                   for w in result.schedule.windows)
+
+    def test_nn_baton_agnostic_to_heterogeneity(self, tiny_scenario,
+                                                het_mcm, nvd_mcm):
+        """NN-baton uses its starting chiplet regardless of composition."""
+        het = NNBatonScheduler(het_mcm).schedule(tiny_scenario)
+        nodes = {seg.node for w in het.schedule.windows
+                 for chain in w.chains for seg in chain}
+        assert nodes == {0}

@@ -1,0 +1,104 @@
+"""Unit tests for the communication model (Lat_com) and NoP contention."""
+
+import pytest
+
+from repro.mcm.comm import CommModel, Transfer
+from repro.mcm.traffic import Flow, contention_factors
+
+
+@pytest.fixture
+def comm(het_mcm):
+    return CommModel(het_mcm)
+
+
+class TestLatCom:
+    def test_same_chiplet_is_free(self, comm):
+        assert comm.chiplet_to_chiplet(1e6, 3, 3) == Transfer.zero()
+
+    def test_zero_size_is_free(self, comm):
+        assert comm.chiplet_to_chiplet(0, 0, 1).latency_s == 0
+        assert comm.offchip(0, 4).latency_s == 0
+
+    def test_on_package_latency_terms(self, comm, het_mcm):
+        size = 1e6
+        transfer = comm.chiplet_to_chiplet(size, 0, 2)
+        hops = het_mcm.topology.hops(0, 2)
+        expected = size / (het_mcm.nop_gbps * 1e9) \
+            + hops * het_mcm.nop_hop_s
+        assert transfer.latency_s == pytest.approx(expected)
+        assert transfer.hops == hops
+
+    def test_offchip_includes_dram_latency(self, comm, het_mcm):
+        transfer = comm.offchip(1e6, 4)
+        assert transfer.latency_s >= het_mcm.dram_latency_s
+        # node 4 is one hop from a side interface
+        assert transfer.hops == 1
+
+    def test_offchip_from_io_node_has_no_hops(self, comm):
+        assert comm.offchip(1e6, 0).hops == 0
+
+    def test_congestion_scales_serialization_only(self, comm, het_mcm):
+        size = 1e8
+        base = comm.chiplet_to_chiplet(size, 0, 2)
+        congested = comm.chiplet_to_chiplet(size, 0, 2, congestion=2.0)
+        serialization = size / (het_mcm.nop_gbps * 1e9)
+        assert congested.latency_s - base.latency_s == pytest.approx(
+            serialization)
+
+    def test_energy_table2(self, comm):
+        # 2.04 pJ/bit/hop NoP, 14.8 pJ/bit DRAM.
+        transfer = comm.chiplet_to_chiplet(1.0, 0, 1)
+        assert transfer.energy_j == pytest.approx(2.04 * 8 * 1e-12)
+        off = comm.offchip(1.0, 0)  # zero hops
+        assert off.energy_j == pytest.approx(14.8 * 8 * 1e-12)
+
+    def test_parts_sum_to_transfer(self, comm):
+        size = 5e6
+        var, fix, energy = comm.chiplet_parts(size, 0, 2)
+        whole = comm.chiplet_to_chiplet(size, 0, 2)
+        assert var + fix == pytest.approx(whole.latency_s)
+        assert energy == pytest.approx(whole.energy_j)
+        var, fix, energy = comm.offchip_parts(size, 4)
+        whole = comm.offchip(size, 4)
+        assert var + fix == pytest.approx(whole.latency_s)
+        assert energy == pytest.approx(whole.energy_j)
+
+    def test_transfer_dispatcher(self, comm):
+        assert comm.transfer(1e3, None, None) == Transfer.zero()
+        assert comm.transfer(1e3, None, 4).latency_s \
+            == comm.offchip(1e3, 4).latency_s
+        assert comm.transfer(1e3, 0, 2).latency_s \
+            == comm.chiplet_to_chiplet(1e3, 0, 2).latency_s
+
+    def test_transfer_addition(self):
+        a = Transfer(1.0, 2.0, 1, 10.0)
+        b = Transfer(0.5, 1.0, 2, 20.0)
+        c = a + b
+        assert (c.latency_s, c.energy_j, c.hops, c.size_bytes) \
+            == (1.5, 3.0, 3, 30.0)
+
+
+class TestContention:
+    def test_disjoint_flows_no_contention(self, het_mcm):
+        flows = [Flow(0, 1, 1e6), Flow(6, 7, 1e6)]
+        assert contention_factors(het_mcm, flows) == [1.0, 1.0]
+
+    def test_shared_link_counts_flows(self, het_mcm):
+        # Both flows traverse link (0, 1) under XY routing.
+        flows = [Flow(0, 1, 1e6), Flow(0, 2, 1e6)]
+        factors = contention_factors(het_mcm, flows)
+        assert factors == [2.0, 2.0]
+
+    def test_zero_size_flow_ignored(self, het_mcm):
+        flows = [Flow(0, 1, 0.0), Flow(0, 2, 1e6)]
+        assert contention_factors(het_mcm, flows) == [1.0, 1.0]
+
+    def test_offchip_flows_share_dram_channel(self, het_mcm):
+        flows = [Flow(None, 0, 1e6), Flow(None, 8, 1e6),
+                 Flow(2, None, 1e6)]
+        factors = contention_factors(het_mcm, flows)
+        assert all(f >= 3.0 for f in factors)
+
+    def test_same_chiplet_flow_unaffected(self, het_mcm):
+        flows = [Flow(3, 3, 1e6)]
+        assert contention_factors(het_mcm, flows) == [1.0]

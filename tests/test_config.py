@@ -1,0 +1,84 @@
+"""Unit tests for config-file round-trips."""
+
+import pytest
+
+from repro.config import (
+    load_json,
+    mcm_from_dict,
+    mcm_to_dict,
+    save_json,
+    scenario_from_dict,
+    scenario_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.schedule import Schedule, Segment, WindowSchedule
+from repro.errors import ConfigError
+from repro.workloads.scenarios import scenario
+
+
+class TestMCMRoundTrip:
+    def test_round_trip_preserves_everything(self, het_mcm):
+        rebuilt = mcm_from_dict(mcm_to_dict(het_mcm))
+        assert rebuilt == het_mcm
+
+    def test_triangular_round_trip(self):
+        from repro.mcm import templates
+        mcm = templates.build("het_t")
+        assert mcm_from_dict(mcm_to_dict(mcm)) == mcm
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            mcm_from_dict({"name": "x"})
+
+
+class TestScenarioRoundTrip:
+    def test_zoo_reference_round_trip(self):
+        sc = scenario(1)
+        rebuilt = scenario_from_dict(scenario_to_dict(sc))
+        assert rebuilt.model_names == sc.model_names
+        assert rebuilt.total_layers == sc.total_layers
+        assert [i.batch for i in rebuilt] == [i.batch for i in sc]
+
+    def test_inline_layers_round_trip(self, tiny_scenario):
+        data = scenario_to_dict(tiny_scenario, inline_layers=True)
+        rebuilt = scenario_from_dict(data)
+        assert rebuilt[0].model.layers == tiny_scenario[0].model.layers
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            scenario_from_dict({"name": "x"})
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        schedule = Schedule(windows=(
+            WindowSchedule(index=0, chains=(
+                (Segment(0, 0, 2, node=1), Segment(0, 2, 4, node=2)),
+                (Segment(1, 0, 3, node=0),))),
+            WindowSchedule(index=1, chains=(
+                (Segment(1, 3, 5, node=4),),)),
+        ))
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt == schedule
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            schedule_from_dict({})
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path, het_mcm):
+        path = tmp_path / "mcm.json"
+        save_json(mcm_to_dict(het_mcm), path)
+        assert mcm_from_dict(load_json(path)) == het_mcm
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_json(tmp_path / "missing.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_json(bad)

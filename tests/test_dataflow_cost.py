@@ -1,0 +1,188 @@
+"""Unit tests for the MAESTRO-lite cost model and dataflow definitions."""
+
+import pytest
+
+from repro.dataflow.cost import (
+    LayerCost,
+    compute_layer_cost,
+    map_spatial,
+)
+from repro.dataflow.dataflow import (
+    NVDLA,
+    SHIDIANNAO,
+    Dataflow,
+    DataflowStyle,
+    by_name,
+    known_dataflows,
+    register,
+)
+from repro.dataflow.energy import DEFAULT_ENERGY, EnergyTable
+from repro.errors import DataflowError
+from repro.workloads.layer import LayerOp, conv, dwconv, elemwise, gemm, pool
+
+CLK = 500e6
+
+
+def _cost(layer, dataflow, pes=4096, noc=512.0):
+    return compute_layer_cost(layer, dataflow, num_pes=pes,
+                              sram_bytes=10 * 1024 * 1024, noc_gbps=noc,
+                              mem_gbps=noc, clock_hz=CLK)
+
+
+class TestDataflowRegistry:
+    def test_builtins_registered(self):
+        assert set(known_dataflows()) >= {"nvdla", "shidiannao"}
+        assert by_name("nvdla") is NVDLA
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DataflowError):
+            by_name("tpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DataflowError):
+            register(Dataflow("nvdla", DataflowStyle.WEIGHT_STATIONARY))
+
+    def test_spatial_dims_per_style(self):
+        assert NVDLA.spatial_dims(LayerOp.CONV) == ("K", "C")
+        assert NVDLA.spatial_dims(LayerOp.GEMM) == ("K", "C")
+        assert SHIDIANNAO.spatial_dims(LayerOp.CONV) == ("YX", "K")
+        assert SHIDIANNAO.spatial_dims(LayerOp.GEMM) == ("K", "X")
+
+
+class TestSpatialMapping:
+    def test_perfect_fit(self):
+        mapping = map_spatial("K", 64, "C", 64, 4096)
+        assert mapping.steps == 1
+        assert mapping.p1 * mapping.p2 <= 4096
+        assert mapping.utilization == pytest.approx(1.0)
+
+    def test_oversized_dims_tile(self):
+        mapping = map_spatial("K", 128, "C", 128, 4096)
+        assert mapping.steps == 4
+
+    def test_degenerate_second_dim(self):
+        mapping = map_spatial("K", 512, "X", 1, 256)
+        assert mapping.p2 == 1
+        assert mapping.steps == 2
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(DataflowError):
+            map_spatial("K", 4, "C", 4, 0)
+
+
+class TestComputeCycles:
+    def test_cycles_at_least_macs_over_pes(self):
+        layer = conv("c", c=64, k=64, y=56, x=56, r=3)
+        for df in (NVDLA, SHIDIANNAO):
+            cost = _cost(layer, df)
+            assert cost.cycles >= layer.macs / 4096 - 1e-6
+
+    def test_batch_scales_cycles_linearly(self):
+        layer = conv("c", c=64, k=64, y=28, x=28, r=3)
+        single = _cost(layer, NVDLA).cycles
+        batched = _cost(layer.with_batch(4), NVDLA).cycles
+        assert batched == pytest.approx(4 * single)
+
+    def test_latency_seconds(self):
+        layer = gemm("g", m=16, n_out=64, k_in=64)
+        cost = _cost(layer, NVDLA)
+        assert cost.latency_s(CLK) == pytest.approx(cost.cycles / CLK)
+
+    def test_energy_positive_and_joules(self):
+        cost = _cost(conv("c", c=8, k=8, y=8, x=8), SHIDIANNAO)
+        assert cost.energy_pj > 0
+        assert cost.energy_j() == pytest.approx(cost.energy_pj * 1e-12)
+
+    def test_more_pes_never_slower(self):
+        layer = conv("c", c=64, k=128, y=56, x=56, r=3)
+        small = _cost(layer, NVDLA, pes=256)
+        large = _cost(layer, NVDLA, pes=4096)
+        assert large.cycles <= small.cycles
+
+
+class TestAffinities:
+    """The per-layer dataflow affinities that drive the whole paper."""
+
+    def test_channel_heavy_gemm_prefers_nvdla(self):
+        layer = gemm("ffn", m=128, n_out=5120, k_in=1280)
+        nvd = _cost(layer, NVDLA)
+        shi = _cost(layer, SHIDIANNAO)
+        assert shi.cycles > 2.0 * nvd.cycles
+        assert shi.energy_pj > nvd.energy_pj
+
+    def test_shallow_spatial_conv_prefers_shidiannao(self):
+        layer = conv("stem", c=3, k=64, y=112, x=112, r=7, stride=2)
+        nvd = _cost(layer, NVDLA)
+        shi = _cost(layer, SHIDIANNAO)
+        assert nvd.cycles > 5.0 * shi.cycles
+
+    def test_mid_conv_roughly_comparable(self):
+        layer = conv("mid", c=128, k=128, y=28, x=28, r=3)
+        nvd = _cost(layer, NVDLA)
+        shi = _cost(layer, SHIDIANNAO)
+        ratio = shi.cycles / nvd.cycles
+        assert 0.5 < ratio < 2.0
+
+    def test_os_gemm_is_bandwidth_limited(self):
+        """The fixed Shi FC mapping streams per-lane weights."""
+        layer = gemm("ffn", m=128, n_out=5120, k_in=1280)
+        shi = _cost(layer, SHIDIANNAO, noc=64.0)
+        shi_fast = _cost(layer, SHIDIANNAO, noc=512.0)
+        assert shi.cycles > shi_fast.cycles
+
+    def test_dwconv_prefers_shidiannao(self):
+        layer = dwconv("dw", c=96, y=40, x=40, r=3)
+        nvd = _cost(layer, NVDLA, pes=256, noc=32.0)
+        shi = _cost(layer, SHIDIANNAO, pes=256, noc=32.0)
+        assert shi.cycles <= nvd.cycles
+
+
+class TestMemoryEffects:
+    def test_refetch_when_footprint_exceeds_sram(self):
+        layer = gemm("big", m=256, n_out=4096, k_in=4096)
+        cost = compute_layer_cost(layer, NVDLA, num_pes=4096,
+                                  sram_bytes=1024 * 1024, noc_gbps=512.0,
+                                  mem_gbps=512.0, clock_hz=CLK)
+        assert cost.dram_refetch_bytes > 0
+
+    def test_no_refetch_when_it_fits(self):
+        layer = conv("c", c=8, k=8, y=8, x=8)
+        assert _cost(layer, NVDLA).dram_refetch_bytes == 0
+
+    def test_pool_and_elemwise_cheap_energy(self):
+        shape = dict(y=32, x=32)
+        p = _cost(pool("p", c=64, **shape), NVDLA)
+        e = _cost(elemwise("e", k=64, **shape), NVDLA)
+        c = _cost(conv("c", c=64, k=64, **shape), NVDLA)
+        assert p.energy_pj < c.energy_pj
+        assert e.energy_pj < c.energy_pj
+
+    def test_stall_factor_at_least_one(self):
+        for df in (NVDLA, SHIDIANNAO):
+            assert _cost(conv("c", c=16, k=16, y=16, x=16), df) \
+                .stall_factor >= 1.0
+
+
+class TestEnergyTable:
+    def test_table2_dram_energy(self):
+        assert DEFAULT_ENERGY.dram_pj_byte == pytest.approx(14.8 * 8)
+
+    def test_table2_nop_energy(self):
+        assert DEFAULT_ENERGY.nop_pj_byte == pytest.approx(2.04 * 8)
+
+    def test_scaled(self):
+        scaled = DEFAULT_ENERGY.scaled(2.0)
+        assert scaled.mac_pj == pytest.approx(2 * DEFAULT_ENERGY.mac_pj)
+        assert scaled.sram_pj_byte == pytest.approx(
+            2 * DEFAULT_ENERGY.sram_pj_byte)
+
+    def test_custom_energy_table_scales_energy(self):
+        layer = conv("c", c=16, k=16, y=16, x=16)
+        base = compute_layer_cost(layer, NVDLA, num_pes=256,
+                                  sram_bytes=1 << 20, noc_gbps=32.0,
+                                  mem_gbps=32.0, clock_hz=CLK)
+        doubled = compute_layer_cost(layer, NVDLA, num_pes=256,
+                                     sram_bytes=1 << 20, noc_gbps=32.0,
+                                     mem_gbps=32.0, clock_hz=CLK,
+                                     energy=DEFAULT_ENERGY.scaled(2.0))
+        assert doubled.energy_pj == pytest.approx(2 * base.energy_pj)

@@ -1,0 +1,86 @@
+"""End-to-end integration sweeps across all scenarios and templates."""
+
+import pytest
+
+from repro.config import mcm_from_dict, mcm_to_dict
+from repro.core import (
+    QUICK_BUDGET,
+    SCARScheduler,
+    ScheduleEvaluator,
+    StandaloneScheduler,
+    analyze_schedule,
+)
+from repro.dataflow import LayerCostDatabase
+from repro.mcm import templates
+from repro.workloads import scenario, scenario_ids
+
+
+@pytest.mark.parametrize("scenario_id", scenario_ids())
+def test_standalone_schedules_every_scenario(scenario_id):
+    """Every Table III scenario evaluates end-to-end on 3x3 hardware."""
+    sc = scenario(scenario_id)
+    mcm = templates.build("simba_nvd_3x3", sc.use_case)
+    result = StandaloneScheduler(mcm).schedule(sc)
+    result.schedule.validate(sc)
+    assert result.metrics.latency_s > 0
+    assert result.metrics.energy_j > 0
+    # One chain per model, all in one concurrent window.
+    assert len(result.schedule.windows[0].chains) == len(sc)
+
+
+@pytest.mark.parametrize("template", templates.template_names())
+def test_every_template_round_trips_and_evaluates(template):
+    """All Fig. 6 organizations serialize and host a schedule."""
+    mcm = templates.build(template)
+    assert mcm_from_dict(mcm_to_dict(mcm)) == mcm
+    sc = scenario(1)
+    if mcm.num_chiplets < len(sc):
+        pytest.skip("package smaller than scenario")
+    result = StandaloneScheduler(mcm).schedule(sc)
+    assert result.metrics.edp > 0
+
+
+def test_scar_full_stack_with_analysis():
+    """SCAR + evaluator + analyzer agree on one realistic run."""
+    sc = scenario(2)
+    mcm = templates.build("het_sides_3x3")
+    database = LayerCostDatabase(clock_hz=mcm.clock_hz)
+    result = SCARScheduler(mcm, nsplits=1, budget=QUICK_BUDGET,
+                           database=database).schedule(sc)
+    evaluator = ScheduleEvaluator(sc, mcm, database)
+    re_eval = evaluator.evaluate(result.schedule)
+    assert re_eval.latency_s == pytest.approx(result.metrics.latency_s)
+    assert re_eval.energy_j == pytest.approx(result.metrics.energy_j)
+
+    report = analyze_schedule(result.schedule, sc, evaluator)
+    assert report.traffic.total_bytes > 0
+    # All weights must come from DRAM at least once.
+    min_weights = sum(inst.model.total_weight_bytes for inst in sc)
+    assert report.traffic.offchip_weight_bytes >= min_weights * 0.999
+    assert 0.0 < report.mean_busy_fraction <= 1.0
+
+
+def test_scar_beats_nn_baton_on_every_datacenter_scenario():
+    """The Fig. 2 claim generalized: SCAR >= NN-baton-style everywhere."""
+    from repro.core import NNBatonScheduler
+    mcm = templates.build("het_sides_3x3")
+    database = LayerCostDatabase(clock_hz=mcm.clock_hz)
+    for scenario_id in (1, 2):
+        sc = scenario(scenario_id)
+        nn = NNBatonScheduler(mcm, database=database).schedule(sc)
+        scar = SCARScheduler(mcm, nsplits=1, budget=QUICK_BUDGET,
+                             database=database).schedule(sc)
+        assert scar.metrics.edp < nn.metrics.edp
+
+
+def test_cost_database_shared_across_engines_stays_consistent():
+    """A shared database returns identical costs across consumers."""
+    sc = scenario(1)
+    mcm = templates.build("simba_nvd_3x3")
+    database = LayerCostDatabase(clock_hz=mcm.clock_hz)
+    layer = sc[0].layer(0)
+    chiplet = mcm.chiplet(0)
+    before = database.cost(layer, chiplet)
+    SCARScheduler(mcm, nsplits=0, budget=QUICK_BUDGET,
+                  database=database).schedule(sc)
+    assert database.cost(layer, chiplet) is before

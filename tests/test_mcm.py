@@ -1,0 +1,133 @@
+"""Unit tests for chiplets, the MCM package and templates (Fig. 6)."""
+
+import pytest
+
+from repro.errors import ConfigError, HardwareError
+from repro.mcm import templates
+from repro.mcm.chiplet import (
+    Chiplet,
+    arvr_chiplet,
+    chiplet_for_use_case,
+    datacenter_chiplet,
+)
+from repro.mcm.package import MCM
+from repro.mcm.topology import mesh
+from repro.units import MB
+
+
+class TestChiplet:
+    def test_operating_points(self):
+        assert datacenter_chiplet("nvdla").num_pes == 4096
+        assert arvr_chiplet("nvdla").num_pes == 256
+        assert datacenter_chiplet("nvdla").sram_bytes == 10 * MB
+
+    def test_use_case_dispatch(self):
+        assert chiplet_for_use_case("nvdla", "datacenter").num_pes == 4096
+        assert chiplet_for_use_case("nvdla", "arvr").num_pes == 256
+        with pytest.raises(HardwareError):
+            chiplet_for_use_case("nvdla", "mobile")
+
+    def test_invalid_dataflow_rejected(self):
+        with pytest.raises(Exception):
+            Chiplet(dataflow="tpu", num_pes=16)
+
+    def test_invalid_resources_rejected(self):
+        with pytest.raises(HardwareError):
+            Chiplet(dataflow="nvdla", num_pes=0)
+        with pytest.raises(HardwareError):
+            Chiplet(dataflow="nvdla", num_pes=16, noc_gbps=0)
+
+    def test_with_dataflow(self):
+        shi = datacenter_chiplet("nvdla").with_dataflow("shidiannao")
+        assert shi.dataflow == "shidiannao"
+        assert shi.num_pes == 4096
+
+    def test_class_key_equality(self):
+        assert datacenter_chiplet("nvdla").class_key \
+            == datacenter_chiplet("nvdla").class_key
+
+
+class TestMCM:
+    def test_chiplet_count_must_match_topology(self):
+        with pytest.raises(HardwareError):
+            MCM(name="bad",
+                chiplets=(datacenter_chiplet("nvdla"),) * 3,
+                topology=mesh(2, 2))
+
+    def test_dataflow_counts(self, het_mcm):
+        counts = het_mcm.dataflow_counts()
+        assert counts == {"nvdla": 6, "shidiannao": 3}
+
+    def test_chiplet_classes_deduplicated(self, het_mcm):
+        assert len(het_mcm.chiplet_classes()) == 2
+
+    def test_nodes_with_dataflow(self, het_mcm):
+        assert het_mcm.nodes_with_dataflow("shidiannao") == (1, 4, 7)
+
+    def test_io_nodes_on_side_columns(self, het_mcm):
+        assert het_mcm.io_nodes == (0, 2, 3, 5, 6, 8)
+
+    def test_io_hops(self, het_mcm):
+        assert het_mcm.io_hops(0) == 0
+        assert het_mcm.io_hops(4) == 1
+
+    def test_nearest_io_deterministic(self, het_mcm):
+        assert het_mcm.nearest_io(4) == 3  # ties break to lowest id
+
+    def test_is_heterogeneous(self, het_mcm, nvd_mcm):
+        assert het_mcm.is_heterogeneous
+        assert not nvd_mcm.is_heterogeneous
+
+    def test_out_of_range_chiplet(self, het_mcm):
+        with pytest.raises(HardwareError):
+            het_mcm.chiplet(9)
+
+    def test_summary_and_diagram(self, het_mcm):
+        assert "het_sides_3x3" in het_mcm.summary()
+        diagram = het_mcm.grid_diagram()
+        assert diagram.splitlines()[0] == "NVD SHI NVD"
+
+
+class TestTemplates:
+    def test_all_templates_build(self):
+        for name in templates.template_names():
+            mcm = templates.build(name)
+            assert mcm.num_chiplets == mcm.topology.num_nodes
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ConfigError):
+            templates.build("het_9x9")
+
+    def test_checkerboard_pattern(self):
+        cb = templates.build("het_cb_3x3")
+        assert cb.dataflow_counts() == {"nvdla": 5, "shidiannao": 4}
+        assert cb.chiplet(0).dataflow == "nvdla"
+        assert cb.chiplet(1).dataflow == "shidiannao"
+
+    def test_het_cross_pattern(self):
+        cross = templates.build("het_cross_6x6")
+        counts = cross.dataflow_counts()
+        assert counts["shidiannao"] == 20
+        assert counts["nvdla"] == 16
+        # Corners are NVDLA.
+        for corner in (0, 5, 30, 35):
+            assert cross.chiplet(corner).dataflow == "nvdla"
+
+    def test_motivational_2x2(self, het_2x2):
+        assert het_2x2.dataflow_counts() == {"nvdla": 3, "shidiannao": 1}
+
+    def test_triangular_templates_use_triangular_topology(self):
+        assert templates.build("het_t").topology.kind == "triangular"
+        assert templates.build("simba_t_nvd").topology.kind == "triangular"
+
+    def test_use_case_controls_operating_point(self):
+        dc = templates.build("simba_nvd_3x3", "datacenter")
+        edge = templates.build("simba_nvd_3x3", "arvr")
+        assert dc.chiplet(0).num_pes == 4096
+        assert edge.chiplet(0).num_pes == 256
+
+    def test_custom_mesh(self):
+        mcm = templates.custom_mesh("c", 1, 2, ["nvdla", "shidiannao"])
+        assert mcm.chiplet(1).dataflow == "shidiannao"
+        with pytest.raises(ConfigError):
+            templates.custom_mesh("c", 2, 2, ["nvdla"])

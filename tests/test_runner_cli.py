@@ -1,0 +1,90 @@
+"""Tests for the experiment runner and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    CORE_STRATEGIES,
+    STRATEGIES,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner(ExperimentConfig.fast())
+
+
+class TestRunner:
+    def test_unknown_strategy_rejected(self, runner, tiny_scenario):
+        with pytest.raises(ConfigError):
+            runner.run(tiny_scenario, "magic")
+
+    def test_standalone_strategy(self, runner, tiny_scenario):
+        run = runner.run(tiny_scenario, "stand_nvd")
+        assert run.latency_s > 0
+        assert run.scar_result is None
+
+    def test_scar_strategy_carries_population(self, runner, tiny_scenario):
+        run = runner.run(tiny_scenario, "het_sides")
+        assert run.scar_result is not None
+        assert run.scar_result.num_evaluated > 0
+
+    def test_memoization(self, runner, tiny_scenario):
+        a = runner.run(tiny_scenario, "het_sides")
+        b = runner.run(tiny_scenario, "het_sides")
+        assert a is b
+
+    def test_value_lookup(self, runner, tiny_scenario):
+        run = runner.run(tiny_scenario, "stand_nvd")
+        assert run.value("edp") == pytest.approx(
+            run.value("latency") * run.value("energy"))
+        with pytest.raises(ConfigError):
+            run.value("power")
+
+    def test_run_many(self, runner, tiny_scenario):
+        runs = runner.run_many(tiny_scenario, ("stand_nvd", "stand_shi"))
+        assert set(runs) == {"stand_nvd", "stand_shi"}
+
+    def test_core_strategies_registered(self):
+        assert set(CORE_STRATEGIES) <= set(STRATEGIES)
+
+
+class TestConfig:
+    def test_fast_preset_is_cheaper(self):
+        fast = ExperimentConfig.fast()
+        full = ExperimentConfig.full()
+        assert fast.budget.max_candidates_per_window \
+            < full.budget.max_candidates_per_window
+        assert fast.nsplits < full.nsplits
+
+    def test_with_nsplits(self):
+        assert ExperimentConfig.fast().with_nsplits(5).nsplits == 5
+
+
+class TestCLI:
+    def test_parser_knows_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table4", "--fast"])
+        assert args.command == "table4" and args.fast
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig13" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_schedule_command(self, capsys, tmp_path):
+        out_file = tmp_path / "sched.json"
+        code = main(["schedule", "--scenario", "1", "--template",
+                     "het_sides_3x3", "--fast", "--output",
+                     str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "EDP" in out and "window" in out

@@ -1,0 +1,122 @@
+"""Integration tests for the SCAR scheduler facade."""
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.scar import SCARScheduler
+from repro.core.scoring import edp_objective, latency_objective
+from repro.errors import SearchError
+
+
+@pytest.fixture
+def budget():
+    return SearchBudget(top_k_segmentations=2, max_segment_candidates=16,
+                        max_root_combos=4, max_paths_per_model=4,
+                        max_candidates_per_window=48, seed=0)
+
+
+class TestSchedulerBasics:
+    def test_produces_valid_schedule(self, tiny_scenario, het_mcm, budget):
+        result = SCARScheduler(het_mcm, nsplits=1,
+                               budget=budget).schedule(tiny_scenario)
+        result.schedule.validate(tiny_scenario)
+        assert result.metrics.latency_s > 0
+        assert result.num_evaluated > 0
+
+    def test_invalid_modes_rejected(self, het_mcm):
+        with pytest.raises(SearchError):
+            SCARScheduler(het_mcm, packing="magic")
+        with pytest.raises(SearchError):
+            SCARScheduler(het_mcm, provisioning="magic")
+        with pytest.raises(SearchError):
+            SCARScheduler(het_mcm, seg_search="magic")
+
+    def test_deterministic(self, tiny_scenario, het_mcm, budget):
+        a = SCARScheduler(het_mcm, nsplits=1,
+                          budget=budget).schedule(tiny_scenario)
+        b = SCARScheduler(het_mcm, nsplits=1,
+                          budget=budget).schedule(tiny_scenario)
+        assert a.metrics.edp == pytest.approx(b.metrics.edp)
+        assert a.schedule == b.schedule
+
+    def test_nsplits_zero_single_window(self, tiny_scenario, het_mcm,
+                                        budget):
+        result = SCARScheduler(het_mcm, nsplits=0,
+                               budget=budget).schedule(tiny_scenario)
+        assert result.schedule.num_windows == 1
+
+    def test_candidate_points_nonempty(self, tiny_scenario, het_mcm,
+                                       budget):
+        result = SCARScheduler(het_mcm, nsplits=1,
+                               budget=budget).schedule(tiny_scenario)
+        points = result.candidate_points()
+        assert points
+        assert all(lat > 0 and en > 0 for lat, en in points)
+
+    def test_objective_latency_no_worse_than_edp_on_latency(
+            self, tiny_scenario, het_mcm, budget):
+        lat = SCARScheduler(het_mcm, nsplits=1, budget=budget,
+                            objective=latency_objective()) \
+            .schedule(tiny_scenario)
+        edp = SCARScheduler(het_mcm, nsplits=1, budget=budget,
+                            objective=edp_objective()) \
+            .schedule(tiny_scenario)
+        assert lat.metrics.latency_s <= edp.metrics.latency_s * 1.05
+
+
+class TestSchedulerModes:
+    def test_uniform_packing_mode(self, tiny_scenario, het_mcm, budget):
+        result = SCARScheduler(het_mcm, nsplits=1, budget=budget,
+                               packing="uniform").schedule(tiny_scenario)
+        result.schedule.validate(tiny_scenario)
+
+    def test_exhaustive_provisioning(self, tiny_scenario, het_mcm, budget):
+        uniform = SCARScheduler(het_mcm, nsplits=0, budget=budget) \
+            .schedule(tiny_scenario)
+        exhaustive = SCARScheduler(het_mcm, nsplits=0, budget=budget,
+                                   provisioning="exhaustive",
+                                   prov_limit=12).schedule(tiny_scenario)
+        exhaustive.schedule.validate(tiny_scenario)
+        # Exhaustive explores a superset of allocations, so with the same
+        # per-allocation budget it should not be significantly worse.
+        assert exhaustive.metrics.edp <= uniform.metrics.edp * 1.5
+
+    def test_heuristic2_cap(self, tiny_scenario, het_mcm, budget):
+        result = SCARScheduler(het_mcm, nsplits=0, budget=budget,
+                               max_nodes_per_model=1) \
+            .schedule(tiny_scenario)
+        for window in result.schedule.windows:
+            for chain in window.chains:
+                assert len(chain) == 1
+
+    def test_evolutionary_seg_search(self, tiny_scenario, het_mcm, budget):
+        from repro.core.evolutionary import GAConfig
+        result = SCARScheduler(
+            het_mcm, nsplits=0, budget=budget, seg_search="evolutionary",
+            ga_config=GAConfig(population_size=4, generations=1)) \
+            .schedule(tiny_scenario)
+        result.schedule.validate(tiny_scenario)
+
+
+class TestHeterogeneityExploitation:
+    def test_het_beats_worst_homogeneous(self, tiny_scenario, budget):
+        """SCAR on het hardware must beat the worse homogeneous option."""
+        from repro.mcm import templates
+        results = {}
+        for name in ("simba_nvd_3x3", "simba_shi_3x3", "het_sides_3x3"):
+            mcm = templates.build(name)
+            results[name] = SCARScheduler(mcm, nsplits=1, budget=budget) \
+                .schedule(tiny_scenario).metrics.edp
+        worst_homog = max(results["simba_nvd_3x3"],
+                          results["simba_shi_3x3"])
+        assert results["het_sides_3x3"] < worst_homog
+
+    def test_affine_placement_on_het(self, tiny_scenario, het_mcm, budget):
+        """The GEMM model's layers should land on NVDLA chiplets."""
+        result = SCARScheduler(het_mcm, nsplits=0,
+                               budget=budget).schedule(tiny_scenario)
+        nvd_nodes = set(het_mcm.nodes_with_dataflow("nvdla"))
+        gemm_nodes = {seg.node for w in result.schedule.windows
+                      for chain in w.chains for seg in chain
+                      if seg.model == 1}
+        assert gemm_nodes <= nvd_nodes

@@ -1,0 +1,50 @@
+"""Unit tests for the Table III scenarios."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import scenarios
+
+
+class TestScenarioTable:
+    def test_ten_scenarios(self):
+        assert scenarios.scenario_ids() == tuple(range(1, 11))
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            scenarios.scenario(11)
+
+    def test_datacenter_vs_arvr_split(self):
+        assert all(s.use_case == "datacenter"
+                   for s in scenarios.datacenter_scenarios())
+        assert all(s.use_case == "arvr"
+                   for s in scenarios.arvr_scenarios())
+
+    def test_scenario_1_contents(self):
+        sc = scenarios.scenario(1)
+        assert sc.model_names == ("gpt_l", "bert_large")
+        assert sc.instance("gpt_l").batch == 1
+        assert sc.instance("bert_large").batch == 3
+
+    def test_scenario_3_differs_from_2_only_in_resnet_batch(self):
+        sc2, sc3 = scenarios.scenario(2), scenarios.scenario(3)
+        assert sc2.model_names == sc3.model_names
+        assert sc2.instance("resnet50").batch == 1
+        assert sc3.instance("resnet50").batch == 32
+
+    def test_scenario_5_is_widest(self):
+        assert len(scenarios.scenario(5)) == 6
+
+    def test_scenario_4_batches_match_table3(self):
+        sc = scenarios.scenario(4)
+        batches = {i.name: i.batch for i in sc}
+        assert batches == {"gpt_l": 8, "bert_large": 24, "unet": 1,
+                           "resnet50": 32}
+
+    def test_arvr_scenario_10(self):
+        sc = scenarios.scenario(10)
+        assert sc.model_names == ("eyecod", "hand_sp")
+        assert sc.instance("eyecod").batch == 60
+
+    def test_scenarios_cached(self):
+        assert scenarios.scenario(1) is scenarios.scenario(1)

@@ -1,0 +1,111 @@
+"""Unit tests for the SCHED engine's per-window search."""
+
+import pytest
+
+from repro.core.metrics import ScheduleEvaluator
+from repro.core.packing import WindowAssignment
+from repro.core.scoring import edp_objective, latency_objective
+from repro.core.sched_engine import (
+    build_window_schedule,
+    node_affinity_ranks,
+    search_window,
+)
+from repro.core.segmentation import RankedSegmentation
+from repro.errors import SearchError
+
+
+@pytest.fixture
+def window(tiny_scenario):
+    return WindowAssignment(index=0, ranges=((0, 0, 4), (1, 0, 3)))
+
+
+@pytest.fixture
+def evaluator(tiny_scenario, het_mcm, database):
+    return ScheduleEvaluator(tiny_scenario, het_mcm, database)
+
+
+def _ranked(cuts_by_model):
+    return {m: [RankedSegmentation(cuts=c, score=float(i))
+                for i, c in enumerate(cuts)]
+            for m, cuts in cuts_by_model.items()}
+
+
+class TestBuildWindowSchedule:
+    def test_build_places_segments_along_path(self, window):
+        ws = build_window_schedule(window, {0: (2,), 1: ()},
+                                   {0: (0, 3), 1: (2,)})
+        chain0 = ws.chain_for(0)
+        assert [s.node for s in chain0] == [0, 3]
+        assert [(s.start, s.stop) for s in chain0] == [(0, 2), (2, 4)]
+        assert ws.chain_for(1)[0].node == 2
+
+    def test_path_shorter_than_segments_rejected(self, window):
+        with pytest.raises(SearchError):
+            build_window_schedule(window, {0: (1, 2), 1: ()},
+                                  {0: (0, 3), 1: (2,)})
+
+
+class TestNodeAffinity:
+    def test_gemm_model_ranks_nvdla_first(self, window, evaluator):
+        ranks = node_affinity_ranks(window, evaluator, edp_objective())
+        gemm_rank = ranks[1]  # model 1 is the GEMM model
+        nvd_nodes = evaluator.mcm.nodes_with_dataflow("nvdla")
+        shi_nodes = evaluator.mcm.nodes_with_dataflow("shidiannao")
+        assert max(gemm_rank[n] for n in nvd_nodes) \
+            < min(gemm_rank[n] for n in shi_nodes)
+
+    def test_same_class_nodes_share_rank(self, window, evaluator):
+        ranks = node_affinity_ranks(window, evaluator, edp_objective())
+        assert ranks[0][0] == ranks[0][3] == ranks[0][6]
+
+
+class TestSearchWindow:
+    def test_finds_valid_candidate(self, window, evaluator, small_budget):
+        ranked = _ranked({0: [(), (2,)], 1: [()]})
+        best = search_window(window, ranked, evaluator, edp_objective(),
+                             small_budget)
+        assert best.score > 0
+        assert best.window.total_layers == 7
+        best.window.chain_for(0)
+        best.window.chain_for(1)
+
+    def test_collect_receives_population(self, window, evaluator,
+                                         small_budget):
+        collected = []
+        search_window(window, _ranked({0: [()], 1: [()]}), evaluator,
+                      edp_objective(), small_budget, collect=collected)
+        assert len(collected) >= 1
+        assert all(c.score >= 0 for c in collected)
+
+    def test_best_is_minimum_of_population(self, window, evaluator,
+                                           small_budget):
+        collected = []
+        best = search_window(window, _ranked({0: [(), (1,)], 1: [()]}),
+                             evaluator, edp_objective(), small_budget,
+                             collect=collected)
+        assert best.score == pytest.approx(min(c.score for c in collected))
+
+    def test_objective_changes_choice_metric(self, window, evaluator,
+                                             small_budget):
+        lat = search_window(window, _ranked({0: [(), (2,)], 1: [()]}),
+                            evaluator, latency_objective(), small_budget)
+        assert lat.score == pytest.approx(lat.metrics.latency_s)
+
+    def test_infeasible_window_raises(self, tiny_scenario, het_2x2,
+                                      database, small_budget):
+        evaluator = ScheduleEvaluator(tiny_scenario, het_2x2, database)
+        window = WindowAssignment(index=0, ranges=((0, 0, 4), (1, 0, 3)))
+        # 3 + 2 segments > 4 chiplets: no placement exists.
+        ranked = _ranked({0: [(1, 2)], 1: [(1,)]})
+        with pytest.raises(SearchError):
+            search_window(window, ranked, evaluator, edp_objective(),
+                          small_budget)
+
+    def test_deterministic(self, window, evaluator, small_budget):
+        ranked = _ranked({0: [(), (2,)], 1: [(), (1,)]})
+        a = search_window(window, ranked, evaluator, edp_objective(),
+                          small_budget)
+        b = search_window(window, ranked, evaluator, edp_objective(),
+                          small_budget)
+        assert a.score == b.score
+        assert a.window == b.window

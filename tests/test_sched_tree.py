@@ -1,0 +1,91 @@
+"""Unit tests for scheduling trees (path enumeration + placements)."""
+
+import random
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.sched_tree import placements, simple_paths
+
+
+BUDGET = SearchBudget(max_root_combos=9, max_paths_per_model=16,
+                      max_candidates_per_window=400, seed=0)
+
+
+class TestSimplePaths:
+    def test_length_one_is_start_only(self, nvd_mcm):
+        assert simple_paths(nvd_mcm, 4, 1, frozenset(), 10) == [(4,)]
+
+    def test_paths_follow_adjacency(self, nvd_mcm):
+        for path in simple_paths(nvd_mcm, 0, 4, frozenset(), 50):
+            for a, b in zip(path, path[1:]):
+                assert b in nvd_mcm.topology.neighbors(a)
+
+    def test_paths_are_simple(self, nvd_mcm):
+        for path in simple_paths(nvd_mcm, 0, 5, frozenset(), 100):
+            assert len(set(path)) == len(path)
+
+    def test_blocked_nodes_avoided(self, nvd_mcm):
+        blocked = frozenset({1, 3})
+        for path in simple_paths(nvd_mcm, 0, 2, blocked, 10):
+            assert not set(path) & blocked
+
+    def test_blocked_start_yields_nothing(self, nvd_mcm):
+        assert simple_paths(nvd_mcm, 0, 2, frozenset({0}), 10) == []
+
+    def test_limit_respected(self, nvd_mcm):
+        assert len(simple_paths(nvd_mcm, 4, 3, frozenset(), 5)) == 5
+
+    def test_node_rank_orders_expansion(self, het_mcm):
+        # Prefer Shi nodes (1, 4, 7): from node 0, the first 2-node path
+        # should go through node 1 rather than node 3.
+        rank = {n: 0.0 if n in (1, 4, 7) else 1.0
+                for n in range(het_mcm.num_chiplets)}
+        paths = simple_paths(het_mcm, 0, 2, frozenset(), 10,
+                             node_rank=rank)
+        assert paths[0] == (0, 1)
+
+    def test_impossible_length(self, nvd_mcm):
+        assert simple_paths(nvd_mcm, 0, 10, frozenset(), 10) == []
+
+
+class TestPlacements:
+    def test_placements_are_disjoint(self, nvd_mcm):
+        for placement in placements(nvd_mcm, [(0, 3), (1, 3)], BUDGET):
+            nodes = [n for path in placement.values() for n in path]
+            assert len(set(nodes)) == len(nodes)
+
+    def test_placement_lengths_match_counts(self, nvd_mcm):
+        for placement in placements(nvd_mcm, [(0, 2), (1, 4)], BUDGET):
+            assert len(placement[0]) == 2
+            assert len(placement[1]) == 4
+            break
+
+    def test_infeasible_total_yields_nothing(self, het_2x2):
+        assert list(placements(het_2x2, [(0, 3), (1, 2)], BUDGET)) == []
+
+    def test_full_occupancy_possible(self, het_2x2):
+        results = list(placements(het_2x2, [(0, 2), (1, 2)], BUDGET))
+        assert results
+        for placement in results:
+            assert len(set(placement[0]) | set(placement[1])) == 4
+
+    def test_deterministic_given_seed(self, nvd_mcm):
+        first = list(placements(nvd_mcm, [(0, 2), (1, 2)], BUDGET,
+                                random.Random(3)))
+        second = list(placements(nvd_mcm, [(0, 2), (1, 2)], BUDGET,
+                                 random.Random(3)))
+        assert first == second
+
+    def test_node_ranks_put_affine_starts_first(self, het_mcm):
+        # Model 0 prefers Shi nodes; its first placement should start there.
+        ranks = {0: {n: (0.0 if n in (1, 4, 7) else 1.0)
+                     for n in range(9)}}
+        first = next(iter(placements(het_mcm, [(0, 1)], BUDGET,
+                                     node_ranks=ranks)))
+        assert first[0][0] in (1, 4, 7)
+
+    def test_single_model_all_chiplets(self, nvd_mcm):
+        results = list(placements(nvd_mcm, [(0, 9)], BUDGET))
+        assert results
+        assert all(len(p[0]) == 9 for p in results)

@@ -1,0 +1,134 @@
+"""Unit tests for the schedule IR and Theorem 1/2 validation."""
+
+import pytest
+
+from repro.core.schedule import Schedule, Segment, WindowSchedule
+from repro.errors import SchedulingError, ValidationError
+from repro.workloads.layer import conv
+from repro.workloads.model import Model, ModelInstance, Scenario
+
+
+@pytest.fixture
+def two_model_scenario():
+    def make(name, n):
+        return Model(name=name, layers=tuple(
+            conv(f"l{i}", c=4, k=4, y=4, x=4) for i in range(n)))
+    return Scenario(name="s", instances=(
+        ModelInstance(make("a", 4)), ModelInstance(make("b", 2))))
+
+
+class TestSegment:
+    def test_basic_properties(self):
+        seg = Segment(model=0, start=2, stop=5, node=3)
+        assert seg.num_layers == 3
+        assert list(seg.layer_indices()) == [2, 3, 4]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SchedulingError):
+            Segment(model=0, start=3, stop=3)
+
+    def test_negative_model_rejected(self):
+        with pytest.raises(SchedulingError):
+            Segment(model=-1, start=0, stop=1)
+
+    def test_placed(self):
+        seg = Segment(model=0, start=0, stop=1)
+        assert seg.node is None
+        assert seg.placed(4).node == 4
+
+
+class TestWindowSchedule:
+    def test_chain_contiguity_enforced(self):
+        with pytest.raises(ValidationError):
+            WindowSchedule(index=0, chains=((
+                Segment(0, 0, 2, node=0), Segment(0, 3, 4, node=1)),))
+
+    def test_chain_single_model_enforced(self):
+        with pytest.raises(SchedulingError):
+            WindowSchedule(index=0, chains=((
+                Segment(0, 0, 2, node=0), Segment(1, 2, 3, node=1)),))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SchedulingError):
+            WindowSchedule(index=0, chains=((),))
+
+    def test_accessors(self):
+        window = WindowSchedule(index=0, chains=(
+            (Segment(0, 0, 2, node=0), Segment(0, 2, 4, node=1)),
+            (Segment(1, 0, 2, node=5),),
+        ))
+        assert window.models == (0, 1)
+        assert window.layer_range(0) == (0, 4)
+        assert window.nodes_used() == (0, 1, 5)
+        assert window.total_layers == 6
+        assert len(window.chain_for(1)) == 1
+        with pytest.raises(SchedulingError):
+            window.chain_for(2)
+
+
+class TestScheduleValidation:
+    def _full_schedule(self):
+        return Schedule(windows=(
+            WindowSchedule(index=0, chains=(
+                (Segment(0, 0, 2, node=0),),
+                (Segment(1, 0, 2, node=1),),
+            )),
+            WindowSchedule(index=1, chains=(
+                (Segment(0, 2, 4, node=0),),
+            )),
+        ))
+
+    def test_valid_schedule_passes(self, two_model_scenario):
+        self._full_schedule().validate(two_model_scenario)
+
+    def test_window_indices_must_be_sequential(self):
+        with pytest.raises(SchedulingError):
+            Schedule(windows=(
+                WindowSchedule(index=1, chains=((Segment(0, 0, 1, 0),),)),
+            ))
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(windows=())
+
+    def test_coverage_gap_detected(self, two_model_scenario):
+        schedule = Schedule(windows=(
+            WindowSchedule(index=0, chains=(
+                (Segment(0, 0, 3, node=0),),
+                (Segment(1, 0, 2, node=1),),
+            )),
+        ))
+        with pytest.raises(ValidationError, match="Theorem 2"):
+            schedule.validate(two_model_scenario)
+
+    def test_out_of_order_windows_detected(self, two_model_scenario):
+        schedule = Schedule(windows=(
+            WindowSchedule(index=0, chains=(
+                (Segment(0, 2, 4, node=0),),
+                (Segment(1, 0, 2, node=1),),
+            )),
+            WindowSchedule(index=1, chains=((Segment(0, 0, 2, node=0),),)),
+        ))
+        with pytest.raises(ValidationError):
+            schedule.validate(two_model_scenario)
+
+    def test_node_exclusivity_within_window(self, two_model_scenario):
+        schedule = Schedule(windows=(
+            WindowSchedule(index=0, chains=(
+                (Segment(0, 0, 4, node=0),),
+                (Segment(1, 0, 2, node=0),),
+            )),
+        ))
+        with pytest.raises(ValidationError, match="shared"):
+            schedule.validate(two_model_scenario)
+
+    def test_unknown_model_detected(self, two_model_scenario):
+        schedule = Schedule(windows=(
+            WindowSchedule(index=0, chains=((Segment(5, 0, 1, node=0),),)),
+        ))
+        with pytest.raises(ValidationError):
+            schedule.validate(two_model_scenario)
+
+    def test_describe_mentions_models(self, two_model_scenario):
+        text = self._full_schedule().describe(two_model_scenario)
+        assert "a" in text and "window 1" in text

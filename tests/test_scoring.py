@@ -1,0 +1,60 @@
+"""Unit tests for optimization objectives (Definition 10)."""
+
+import pytest
+
+from repro.core.scoring import (
+    Objective,
+    OptTarget,
+    edp_objective,
+    energy_objective,
+    latency_objective,
+    objective_by_name,
+)
+from repro.errors import SearchError
+
+
+class TestBuiltins:
+    def test_latency(self):
+        assert latency_objective().score_values(2.0, 5.0) == 2.0
+
+    def test_energy(self):
+        assert energy_objective().score_values(2.0, 5.0) == 5.0
+
+    def test_edp(self):
+        assert edp_objective().score_values(2.0, 5.0) == 10.0
+
+    def test_names(self):
+        assert latency_objective().name == "latency"
+        assert edp_objective().name == "edp"
+
+    def test_by_name(self):
+        assert objective_by_name("energy").target is OptTarget.ENERGY
+        with pytest.raises(SearchError):
+            objective_by_name("power")
+
+
+class TestCustomAndBounds:
+    def test_custom_metric(self):
+        obj = Objective(custom=lambda lat, en: lat + 10 * en)
+        assert obj.score_values(1.0, 2.0) == 21.0
+        assert obj.name == "custom"
+
+    def test_latency_bound_invalidates(self):
+        """Sec. VI: EDP search lower-bounded by a latency constraint."""
+        obj = Objective(target=OptTarget.EDP, latency_bound_s=1.0)
+        assert obj.score_values(0.5, 2.0) == 1.0
+        assert obj.score_values(1.5, 0.1) == float("inf")
+
+    def test_score_schedule_metrics(self, tiny_scenario, het_mcm,
+                                    database):
+        from repro.core.metrics import ScheduleEvaluator
+        from repro.core.schedule import Schedule, Segment, WindowSchedule
+        schedule = Schedule(windows=(WindowSchedule(index=0, chains=(
+            (Segment(0, 0, 4, node=0),),
+            (Segment(1, 0, 3, node=2),))),))
+        metrics = ScheduleEvaluator(tiny_scenario, het_mcm,
+                                    database).evaluate(schedule)
+        assert edp_objective().score(metrics) == pytest.approx(metrics.edp)
+        assert edp_objective().score_window(metrics.windows[0]) \
+            == pytest.approx(metrics.windows[0].latency_s
+                             * metrics.windows[0].energy_j)

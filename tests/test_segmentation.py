@@ -1,0 +1,127 @@
+"""Unit tests for the SEG engine (Heuristic 1 and candidates)."""
+
+import math
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.segmentation import (
+    enumerate_cut_candidates,
+    proxy_pipeline_score,
+    rank_segmentations,
+    segments_from_cuts,
+)
+from repro.errors import SearchError
+
+
+BUDGET = SearchBudget(top_k_segmentations=3, max_segment_candidates=64,
+                      seed=0)
+
+
+class TestSegmentsFromCuts:
+    def test_no_cuts(self):
+        assert segments_from_cuts(0, 5, ()) == ((0, 5),)
+
+    def test_two_cuts(self):
+        assert segments_from_cuts(0, 6, (2, 4)) \
+            == ((0, 2), (2, 4), (4, 6))
+
+    def test_offset_range(self):
+        assert segments_from_cuts(10, 14, (12,)) == ((10, 12), (12, 14))
+
+
+class TestCandidateEnumeration:
+    def test_always_contains_no_cut(self):
+        candidates = enumerate_cut_candidates(0, 8, 3, [1.0] * 8, BUDGET)
+        assert () in candidates
+
+    def test_exhaustive_when_small(self):
+        candidates = enumerate_cut_candidates(0, 5, 2, [1.0] * 5, BUDGET)
+        # 1 (no cut) + C(4,1) single-cut options
+        assert len(candidates) == 1 + 4
+
+    def test_respects_budget_cap(self):
+        tight = SearchBudget(top_k_segmentations=3,
+                             max_segment_candidates=10, seed=0)
+        candidates = enumerate_cut_candidates(0, 30, 5, [1.0] * 30, tight)
+        assert len(candidates) <= 10
+
+    def test_cuts_inside_range_and_sorted(self):
+        candidates = enumerate_cut_candidates(10, 20, 4, [1.0] * 10, BUDGET)
+        for cuts in candidates:
+            assert all(10 < c < 20 for c in cuts)
+            assert list(cuts) == sorted(set(cuts))
+
+    def test_max_segments_respected(self):
+        candidates = enumerate_cut_candidates(0, 10, 3, [1.0] * 10, BUDGET)
+        assert all(len(cuts) <= 2 for cuts in candidates)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SearchError):
+            enumerate_cut_candidates(5, 5, 2, [], BUDGET)
+
+    def test_single_layer_only_no_cut(self):
+        assert enumerate_cut_candidates(0, 1, 3, [1.0], BUDGET) == [()]
+
+    def test_balanced_candidate_balances_weight(self):
+        weights = [1.0, 1.0, 1.0, 1.0, 4.0, 4.0]
+        candidates = enumerate_cut_candidates(0, 6, 2, weights, BUDGET)
+        two_seg = [c for c in candidates if len(c) == 1]
+        # The balanced candidate is generated first among 2-segment cuts
+        # and splits near the weight midpoint (total 12 -> cut at 4.. or 5).
+        assert two_seg[0][0] in (4, 5)
+
+
+class TestProxyScore:
+    def test_no_cut_score_is_serial_latency(self):
+        expected = [1.0, 2.0, 3.0]
+        score = proxy_pipeline_score(0, 3, (), expected, batch=1,
+                                     boundary_bytes=[0.0] * 3,
+                                     nop_gbps=100.0)
+        assert score == pytest.approx(6.0)
+
+    def test_batched_pipeline_prefers_balanced_cut(self):
+        expected = [1.0] * 4
+        balanced = proxy_pipeline_score(0, 4, (2,), expected, batch=8,
+                                        boundary_bytes=[0.0] * 4,
+                                        nop_gbps=100.0)
+        skewed = proxy_pipeline_score(0, 4, (1,), expected, batch=8,
+                                      boundary_bytes=[0.0] * 4,
+                                      nop_gbps=100.0)
+        assert balanced < skewed
+
+    def test_comm_penalty_discourages_cuts(self):
+        expected = [1.0] * 4
+        heavy_boundary = [1e12] * 4
+        cut = proxy_pipeline_score(0, 4, (2,), expected, batch=4,
+                                   boundary_bytes=heavy_boundary,
+                                   nop_gbps=100.0)
+        no_cut = proxy_pipeline_score(0, 4, (), expected, batch=4,
+                                      boundary_bytes=heavy_boundary,
+                                      nop_gbps=100.0)
+        assert no_cut < cut
+
+
+class TestRanking:
+    def test_returns_top_k(self):
+        ranked = rank_segmentations(0, 10, 4, [1.0] * 10, batch=4,
+                                    boundary_bytes=[10.0] * 10,
+                                    nop_gbps=100.0, budget=BUDGET)
+        assert len(ranked) == BUDGET.top_k_segmentations
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores)
+
+    def test_batched_model_top_candidate_is_multi_segment(self):
+        ranked = rank_segmentations(0, 8, 4, [1.0] * 8, batch=16,
+                                    boundary_bytes=[1.0] * 8,
+                                    nop_gbps=100.0, budget=BUDGET)
+        assert len(ranked[0].cuts) >= 1
+
+    def test_deterministic(self):
+        args = dict(start=0, stop=12, max_segments=3,
+                    per_layer_expected_s=[1.0] * 12, batch=2,
+                    boundary_bytes=[5.0] * 12, nop_gbps=100.0,
+                    budget=BUDGET)
+        first = rank_segmentations(**args)
+        second = rank_segmentations(**args)
+        assert [r.cuts for r in first] == [r.cuts for r in second]

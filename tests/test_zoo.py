@@ -1,0 +1,132 @@
+"""Unit tests for the model zoo (Table III models)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import zoo
+from repro.workloads.layer import LayerOp
+from repro.workloads.zoo.resnet import resnet_block2_slice
+from repro.workloads.zoo.transformers import transformer
+
+
+class TestRegistry:
+    def test_all_models_build(self):
+        for name in zoo.model_names():
+            model = zoo.build(name)
+            assert len(model) > 0, name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown model"):
+            zoo.build("alexnet")
+
+    def test_build_is_cached(self):
+        assert zoo.build("resnet50") is zoo.build("resnet50")
+
+
+class TestLayerCounts:
+    """Layer counts should approximate the paper's Table VI figures."""
+
+    def test_unet_is_23_layers(self):
+        assert len(zoo.build("unet")) == 23
+
+    def test_gpt_l_is_120_layers(self):
+        assert len(zoo.build("gpt_l")) == 120
+
+    def test_bert_large_close_to_paper(self):
+        assert 60 <= len(zoo.build("bert_large")) <= 80
+
+    def test_resnet50_close_to_paper(self):
+        assert 60 <= len(zoo.build("resnet50")) <= 80
+
+
+class TestResNet:
+    def test_stem_shape(self):
+        stem = zoo.build("resnet50")[0]
+        assert (stem.c, stem.k, stem.y) == (3, 64, 112)
+
+    def test_final_fc(self):
+        fc = zoo.build("resnet50").layers[-1]
+        assert fc.op is LayerOp.GEMM and fc.k == 1000
+
+    def test_total_macs_in_expected_range(self):
+        """ResNet-50 is ~4.1 GMACs at 224x224."""
+        gmacs = zoo.build("resnet50").total_macs / 1e9
+        assert 3.0 < gmacs < 5.0
+
+    def test_block2_slice(self):
+        layers = resnet_block2_slice(3)
+        assert len(layers) == 3
+        assert all(l.name.startswith("s2b0_conv") for l in layers)
+
+
+class TestUNet:
+    def test_decoder_mirrors_encoder_resolution(self):
+        model = zoo.build("unet")
+        first = model[0]
+        last = model.layers[-1]
+        assert first.y == last.y == 512
+
+    def test_has_skip_edges(self):
+        assert len(zoo.build("unet").skip_edges) == 4
+
+    def test_macs_heavier_than_resnet(self):
+        """U-Net at 512x512 is far heavier than ResNet-50 at 224."""
+        assert zoo.build("unet").total_macs \
+            > 10 * zoo.build("resnet50").total_macs
+
+
+class TestTransformers:
+    def test_all_layers_are_gemm(self):
+        for name in ("gpt_l", "bert_large", "bert_base", "emformer"):
+            assert all(l.op is LayerOp.GEMM for l in zoo.build(name)), name
+
+    def test_full_decomposition_block_layout(self):
+        model = transformer("t", blocks=2, d_model=64, seq_len=16,
+                            decomposition="full")
+        assert len(model) == 10
+        assert model[0].name == "b0_qkv"
+        assert model[0].k == 3 * 64
+
+    def test_fused_decomposition_block_layout(self):
+        model = transformer("t", blocks=2, d_model=64, seq_len=16,
+                            decomposition="fused")
+        assert len(model) == 6
+
+    def test_fused_attention_preserves_macs(self):
+        """Fused attention MACs == qkv + matmuls + proj MACs."""
+        d, m = 64, 16
+        fused = transformer("t", blocks=1, d_model=d, seq_len=m,
+                            decomposition="fused")[0]
+        expected = 3 * d * d * m + 2 * m * m * d + d * d * m
+        assert fused.macs == expected
+
+    def test_unknown_decomposition_rejected(self):
+        with pytest.raises(WorkloadError):
+            transformer("t", blocks=1, d_model=8, seq_len=4,
+                        decomposition="other")
+
+    def test_bert_base_smaller_than_large(self):
+        assert zoo.build("bert_base").total_macs \
+            < zoo.build("bert_large").total_macs
+
+
+class TestXRModels:
+    def test_edge_models_are_light(self):
+        """XR models must be far lighter than datacenter U-Net."""
+        unet = zoo.build("unet").total_macs
+        for name in ("d2go", "eyecod", "hand_sp", "sp2dense"):
+            assert zoo.build(name).total_macs < unet / 5, name
+
+    def test_d2go_contains_depthwise(self):
+        ops = {l.op for l in zoo.build("d2go")}
+        assert LayerOp.DWCONV in ops
+
+    def test_hrvit_is_hybrid(self):
+        ops = {l.op for l in zoo.build("hrvit")}
+        assert LayerOp.CONV in ops and LayerOp.GEMM in ops
+
+    def test_unique_layer_names_everywhere(self):
+        for name in zoo.model_names():
+            model = zoo.build(name)
+            names = [l.name for l in model]
+            assert len(set(names)) == len(names), name
