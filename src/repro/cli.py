@@ -9,6 +9,9 @@ Regenerates any paper table/figure from the terminal::
 
 ``--fast`` uses the CI budget (seconds-to-minutes); the default budget
 matches the paper's settings and can take several minutes per experiment.
+``--jobs N`` fans the window search over N worker processes (bit-identical
+results); ``--perf-stats`` prints evaluation-throughput and cache-hit
+statistics after the run (see DESIGN.md, "Evaluation acceleration").
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from typing import Callable
 
 from repro.experiments import (
     ExperimentConfig,
+    aggregate_perf,
+    drain_perf_reports,
     run_arvr,
     run_breakdown,
     run_datacenter,
@@ -76,12 +81,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
     scheduler = SCARScheduler(mcm,
                               objective=objective_by_name(args.objective),
-                              nsplits=config.nsplits, budget=config.budget)
+                              nsplits=config.nsplits, budget=config.budget,
+                              jobs=args.jobs)
     result = scheduler.schedule(sc)
     print(mcm.summary())
     print(sc.summary())
     print(result.schedule.describe(sc))
     print(result.metrics.summary())
+    if args.perf_stats and result.perf is not None:
+        print()
+        print(result.perf.render())
     if args.output:
         from repro.config import save_json, schedule_to_dict
         save_json(schedule_to_dict(result.schedule), args.output)
@@ -107,14 +116,32 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("latency", "energy", "edp"))
     sched.add_argument("--output", default=None,
                        help="write the schedule JSON here")
-    sched.add_argument("--fast", action="store_true",
-                       help="use the reduced search budget")
+    _add_common_options(sched)
 
     for name, (description, _) in _EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)
-        exp.add_argument("--fast", action="store_true",
-                         help="use the reduced search budget")
+        _add_common_options(exp)
     return parser
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return jobs
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fast", action="store_true",
+                        help="use the reduced search budget")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for the window search "
+                        "(results are bit-identical to serial)")
+    parser.add_argument("--perf-stats", action="store_true",
+                        help="print evaluation throughput and cache-hit "
+                        "statistics after the run")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,9 +151,16 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "schedule":
         return _cmd_schedule(args)
-    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    config = ExperimentConfig.fast(jobs=args.jobs) if args.fast \
+        else ExperimentConfig(jobs=args.jobs)
+    drain_perf_reports()  # start the perf log fresh for this command
     _, runner = _EXPERIMENTS[args.command]
     print(runner(config))
+    if args.perf_stats:
+        reports = drain_perf_reports()
+        if reports:
+            print()
+            print(aggregate_perf(reports, jobs=args.jobs).render())
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.core.baselines import (
     StandaloneScheduler,
 )
 from repro.core.budget import QUICK_BUDGET, SearchBudget
+from repro.core.evalcache import EvalCache, segment_place_key, window_key
 from repro.core.evolutionary import EvolutionarySegSearch, GAConfig
 from repro.core.metrics import (
     ModelWindowMetrics,
@@ -53,7 +54,7 @@ from repro.core.segmentation import (
 )
 
 __all__ = [
-    "BaselineResult", "ChipletUtilization", "ScheduleReport",
+    "BaselineResult", "ChipletUtilization", "EvalCache", "ScheduleReport",
     "TrafficBreakdown", "analyze_schedule", "gantt", "EvolutionarySegSearch", "GAConfig",
     "ModelWindowMetrics", "NNBatonScheduler", "Objective", "OptTarget",
     "PackingPlan", "QUICK_BUDGET", "RankedSegmentation", "SCARResult",
@@ -64,6 +65,7 @@ __all__ = [
     "enumerate_cut_candidates", "exhaustive_allocations",
     "expected_layer_energies", "expected_layer_latencies", "greedy_pack",
     "latency_objective", "objective_by_name", "placements",
-    "rank_segmentations", "search_window", "segments_from_cuts",
-    "simple_paths", "uniform_allocation", "uniform_pack",
+    "rank_segmentations", "search_window", "segment_place_key",
+    "segments_from_cuts", "simple_paths", "uniform_allocation",
+    "uniform_pack", "window_key",
 ]

@@ -9,7 +9,7 @@ runtime is bounded and deterministic.  Defaults are generous enough that
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import SearchError
 
@@ -41,6 +41,19 @@ class SearchBudget:
                      "max_candidates_per_window"):
             if getattr(self, name) < 1:
                 raise SearchError(f"{name} must be >= 1")
+
+    def fitness_slice(self, num_fitness_evals: int,
+                      floor: int = 4) -> "SearchBudget":
+        """Per-individual share of the window budget for GA fitness.
+
+        The evolutionary SEG search spends one SCHED-engine run per
+        individual; dividing the window's candidate budget across the
+        expected ``num_fitness_evals`` keeps the GA's total evaluation
+        count comparable to the enumerative engine's.
+        """
+        share = self.max_candidates_per_window // max(num_fitness_evals, 1)
+        return replace(self,
+                       max_candidates_per_window=max(floor, share))
 
 
 #: Reduced budget for quick tests and CI benches.

@@ -1,0 +1,102 @@
+"""Memoized segment-cost cache for the schedule evaluator.
+
+Candidates inside one window overwhelmingly share ``(model, start, stop)``
+sub-chains -- the SCHED engine re-places the same segmentations over and
+over -- and a segment's cost does not depend on *which* chiplet hosts it,
+only on the chiplet's **placement class**::
+
+    place_key = (chiplet.class_key, io_hops(node))
+
+``class_key`` fixes the dataflow/resource tuple (compute cycles, SRAM
+residency) and ``io_hops`` fixes every off-chip term (DRAM re-fetch,
+weight streaming).  Two segments with equal place keys are bit-identical
+in cost, so the cache can serve a segment evaluated on node 3 when the
+search later tries node 5 of the same class.
+
+Three memo tables live here (hit/miss counters per table, surfaced via
+:mod:`repro.perf`):
+
+``compute``   (model, start, stop, place_key, minibatch) -> (lat_s, j)
+              The mini-batch is part of the key because intra-layer cost
+              is *non-linear* in batch (tiling, stalls, DRAM re-fetch
+              rounds change shape); the pipelining tile factor is applied
+              *after* lookup as ``var/tile + fix`` -- see DESIGN.md.
+``static``    (model, start, stop, place_key) -> weight/residency terms.
+``window``    canonical window structure -> :class:`WindowMetrics`;
+              serves duplicate placements and the final re-evaluation of
+              the winning schedule.
+
+A cache instance is only valid for one (scenario, MCM) pair -- keys do
+not include workload or package identity.  ``EvalCache(enabled=False)``
+degrades every lookup to a recomputation (used by the property tests to
+prove cached == uncached).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.perf import CacheStats
+
+SegmentKey = tuple
+"""(model, start, stop, chiplet class_key, io_hops)."""
+
+
+class EvalCache:
+    """Hit-counting memo tables shared by one evaluator.
+
+    ``lookup(table, key, factory)`` returns the cached value or computes,
+    stores and returns ``factory()``.  Unknown table names create a new
+    table on first use, so auxiliary memos (e.g. the GA fitness cache)
+    can report through the same stats channel via :meth:`record`.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._tables: dict[str, dict[Any, Any]] = {}
+        self.stats: dict[str, CacheStats] = {}
+
+    def _stats(self, table: str) -> CacheStats:
+        if table not in self.stats:
+            self.stats[table] = CacheStats()
+        return self.stats[table]
+
+    def lookup(self, table: str, key: Any,
+               factory: Callable[[], Any]) -> Any:
+        """Fetch ``key`` from ``table``, computing via ``factory`` on miss."""
+        stats = self._stats(table)
+        if not self.enabled:
+            stats.record(hit=False)
+            return factory()
+        store = self._tables.setdefault(table, {})
+        if key in store:
+            stats.record(hit=True)
+            return store[key]
+        stats.record(hit=False)
+        store[key] = value = factory()
+        return value
+
+    def record(self, table: str, hit: bool) -> None:
+        """Count a hit/miss for a memo managed outside this cache."""
+        self._stats(table).record(hit)
+
+    def size(self, table: str) -> int:
+        return len(self._tables.get(table, ()))
+
+    def snapshot(self) -> dict[str, CacheStats]:
+        """Copy of the per-table counters (for cross-process merging)."""
+        return {table: CacheStats(hits=s.hits, misses=s.misses)
+                for table, s in self.stats.items()}
+
+
+def segment_place_key(segment, chiplet, io_hops: int) -> SegmentKey:
+    """Placement-class cache key of one segment (node-id independent)."""
+    return (segment.model, segment.start, segment.stop,
+            chiplet.class_key, io_hops)
+
+
+def window_key(window) -> tuple:
+    """Canonical, hashable identity of a window schedule's structure."""
+    return (window.index, tuple(
+        tuple((seg.model, seg.start, seg.stop, seg.node) for seg in chain)
+        for chain in window.chains))

@@ -14,7 +14,7 @@ deterministic.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.budget import SearchBudget
 from repro.core.metrics import ScheduleEvaluator
@@ -92,11 +92,7 @@ class EvolutionarySegSearch:
         self.seeds = seeds or {}
         self.rng = random.Random(budget.seed + 104729 * window.index)
         evals = self.config.population_size * (self.config.generations + 1)
-        self._fitness_budget = replace(
-            budget,
-            max_candidates_per_window=max(
-                4, budget.max_candidates_per_window // max(evals, 1)),
-        )
+        self._fitness_budget = budget.fitness_slice(evals)
         self._cache: dict[tuple, WindowCandidate] = {}
         self.evaluated: list[WindowCandidate] = []
 
@@ -155,7 +151,9 @@ class EvolutionarySegSearch:
         key = tuple(sorted(individual.items()))
         if key in self._cache:
             cached = self._cache[key]
+            self.evaluator.cache.record("fitness", hit=True)
             return cached.score, cached
+        self.evaluator.cache.record("fitness", hit=False)
         ranked = {m: [RankedSegmentation(cuts=cuts, score=0.0)]
                   for m, cuts in individual.items()}
         try:

@@ -32,8 +32,9 @@ Modeling decisions (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.core.evalcache import EvalCache, segment_place_key, window_key
 from repro.core.schedule import Schedule, Segment, WindowSchedule
 from repro.dataflow.database import LayerCostDatabase
 from repro.errors import SchedulingError
@@ -45,8 +46,17 @@ from repro.workloads.model import Scenario
 
 
 def _divisors(value: int) -> tuple[int, ...]:
-    """Divisors of ``value`` in ascending order."""
-    return tuple(d for d in range(1, value + 1) if value % d == 0)
+    """Divisors of ``value`` in ascending order (O(sqrt n) enumeration)."""
+    small: list[int] = []
+    large: list[int] = []
+    d = 1
+    while d * d <= value:
+        if value % d == 0:
+            small.append(d)
+            if d != value // d:
+                large.append(value // d)
+        d += 1
+    return tuple(small + large[::-1])
 
 
 #: Spatial tile factors tried for fine-grained inter-chiplet pipelining.
@@ -107,9 +117,14 @@ class ScheduleMetrics:
 
 @dataclass(frozen=True)
 class _SegmentCost:
-    """Pre-resolved per-segment quantities reused across mini-batch trials."""
+    """Pre-resolved per-segment quantities reused across mini-batch trials.
 
-    segment: Segment
+    Node-id independent (everything derives from the segment's placement
+    class), so instances live in the ``static`` table of the
+    :class:`~repro.core.evalcache.EvalCache` and are shared across
+    candidates that place the same sub-chain on any same-class chiplet.
+    """
+
     weight_bytes: float
     resident: bool
     weight_load_var_s: float
@@ -130,12 +145,19 @@ class ScheduleEvaluator:
     """
 
     def __init__(self, scenario: Scenario, mcm: MCM,
-                 database: LayerCostDatabase | None = None) -> None:
+                 database: LayerCostDatabase | None = None,
+                 cache: EvalCache | None = None) -> None:
         self.scenario = scenario
         self.mcm = mcm
         self.database = database or LayerCostDatabase(clock_hz=mcm.clock_hz)
         self.comm = CommModel(mcm)
-        self._compute_cache: dict[tuple, tuple[float, float]] = {}
+        #: Memoized segment/window costs; valid for this (scenario, mcm)
+        #: pair only.
+        self.cache = cache if cache is not None else EvalCache()
+        # io_hops enters every cache key; MCM.io_hops rescans the package
+        # per call, so precompute it once for the hot path.
+        self._io_hops = tuple(mcm.io_hops(node)
+                              for node in range(mcm.num_chiplets))
 
     # -- public API -------------------------------------------------------
 
@@ -152,7 +174,16 @@ class ScheduleEvaluator:
         )
 
     def evaluate_window(self, window: WindowSchedule) -> WindowMetrics:
-        """Evaluate one time window (``Lat(tw) = max_m Lat(SG_m)``)."""
+        """Evaluate one time window (``Lat(tw) = max_m Lat(SG_m)``).
+
+        Results are memoized on the window's structure, so duplicate
+        placements produced by the search (and the final re-evaluation of
+        the winning schedule) are free.
+        """
+        return self.cache.lookup("window", window_key(window),
+                                 lambda: self._evaluate_window(window))
+
+    def _evaluate_window(self, window: WindowSchedule) -> WindowMetrics:
         congestion = self._window_congestion(window)
         per_model = []
         for chain in window.chains:
@@ -174,13 +205,22 @@ class ScheduleEvaluator:
 
     def _segment_compute(self, segment: Segment,
                          batch: int) -> tuple[float, float]:
-        """(latency_s, energy_j) of a segment's compute at ``batch``."""
-        key = (segment.model, segment.start, segment.stop, segment.node,
-               batch)
-        cached = self._compute_cache.get(key)
-        if cached is not None:
-            return cached
+        """(latency_s, energy_j) of a segment's compute at ``batch``.
+
+        Cached by placement class rather than node id: the compute terms
+        depend only on the chiplet class and the node's distance to its
+        off-chip interface, so same-class placements share one entry.
+        """
         chiplet = self._chiplet_of(segment)
+        assert segment.node is not None
+        key = (*segment_place_key(segment, chiplet,
+                                  self._io_hops[segment.node]), batch)
+        return self.cache.lookup(
+            "compute", key,
+            lambda: self._segment_compute_uncached(segment, chiplet, batch))
+
+    def _segment_compute_uncached(self, segment: Segment, chiplet,
+                                  batch: int) -> tuple[float, float]:
         latency = 0.0
         energy = 0.0
         for idx in segment.layer_indices():
@@ -194,7 +234,6 @@ class ScheduleEvaluator:
                                           segment.node)
                 latency += extra.latency_s
                 energy += extra.energy_j
-        self._compute_cache[key] = (latency, energy)
         return latency, energy
 
     def _segment_weight_bytes(self, segment: Segment) -> float:
@@ -245,7 +284,7 @@ class ScheduleEvaluator:
                        congestion: dict[tuple, float]) -> ModelWindowMetrics:
         model = chain[0].model
         batch = self.scenario[model].batch
-        seg_costs = [self._segment_static(seg, batch) for seg in chain]
+        seg_costs = [self._segment_static(seg) for seg in chain]
 
         best: ModelWindowMetrics | None = None
         for minibatch in _divisors(batch):
@@ -258,10 +297,19 @@ class ScheduleEvaluator:
         assert best is not None
         return best
 
-    def _segment_static(self, segment: Segment, batch: int) -> _SegmentCost:
+    def _segment_static(self, segment: Segment) -> _SegmentCost:
         """Mini-batch-independent segment quantities (weights, residency)."""
-        weight_bytes = self._segment_weight_bytes(segment)
         chiplet = self._chiplet_of(segment)
+        assert segment.node is not None
+        key = segment_place_key(segment, chiplet,
+                                self._io_hops[segment.node])
+        return self.cache.lookup(
+            "static", key,
+            lambda: self._segment_static_uncached(segment, chiplet))
+
+    def _segment_static_uncached(self, segment: Segment,
+                                 chiplet) -> _SegmentCost:
+        weight_bytes = self._segment_weight_bytes(segment)
         # Activation working set: heaviest single-layer in/out at batch 1
         # (mini-batch streams at least one sample at a time).
         act_bytes = max(
@@ -271,7 +319,7 @@ class ScheduleEvaluator:
             default=0)
         resident = weight_bytes + act_bytes <= chiplet.sram_bytes
         var, fix, energy = self.comm.offchip_parts(weight_bytes, segment.node)
-        return _SegmentCost(segment=segment, weight_bytes=weight_bytes,
+        return _SegmentCost(weight_bytes=weight_bytes,
                             resident=resident, weight_load_var_s=var,
                             weight_load_fix_s=fix, weight_load_j=energy)
 

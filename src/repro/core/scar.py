@@ -17,9 +17,12 @@ evaluated population, which the Pareto/top-candidate figures consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 from repro.core.budget import SearchBudget
+from repro.core.evalcache import EvalCache
 from repro.core.evolutionary import EvolutionarySegSearch, GAConfig
 from repro.core.metrics import ScheduleEvaluator, ScheduleMetrics
 from repro.core.packing import (
@@ -38,6 +41,7 @@ from repro.core.segmentation import RankedSegmentation, rank_segmentations
 from repro.dataflow.database import LayerCostDatabase
 from repro.errors import SearchError
 from repro.mcm.package import MCM
+from repro.perf import CacheStats, PerfReport, log_report, merge_stats
 from repro.workloads.model import Scenario
 
 
@@ -50,6 +54,7 @@ class SCARResult:
     plan: PackingPlan
     window_candidates: tuple[tuple[WindowCandidate, ...], ...]
     num_evaluated: int
+    perf: PerfReport | None = None
 
     def candidate_points(self) -> list[tuple[float, float]]:
         """(latency_s, energy_j) of assembled candidate schedules.
@@ -87,6 +92,9 @@ class SCARScheduler:
     ``provisioning``         ``"uniform"`` (Eq. 2) or ``"exhaustive"``.
     ``max_nodes_per_model``  Heuristic-2 node-allocation constraint.
     ``seg_search``           ``"enumerative"`` or ``"evolutionary"``.
+    ``jobs``                 worker processes for the window search
+                             (1 = serial; results are bit-identical
+                             either way, see :meth:`schedule`).
     """
 
     def __init__(self, mcm: MCM, *, objective: Objective | None = None,
@@ -96,13 +104,15 @@ class SCARScheduler:
                  max_nodes_per_model: int | None = None,
                  seg_search: str = "enumerative",
                  ga_config: GAConfig | None = None,
-                 prov_limit: int = 64) -> None:
+                 prov_limit: int = 64, jobs: int = 1) -> None:
         if packing not in ("greedy", "uniform"):
             raise SearchError(f"unknown packing mode {packing!r}")
         if provisioning not in ("uniform", "exhaustive"):
             raise SearchError(f"unknown provisioning mode {provisioning!r}")
         if seg_search not in ("enumerative", "evolutionary"):
             raise SearchError(f"unknown seg_search mode {seg_search!r}")
+        if jobs < 1:
+            raise SearchError(f"jobs must be >= 1, got {jobs}")
         self.mcm = mcm
         self.objective = objective or edp_objective()
         self.nsplits = nsplits
@@ -114,12 +124,25 @@ class SCARScheduler:
         self.seg_search = seg_search
         self.ga_config = ga_config
         self.prov_limit = prov_limit
+        self.jobs = jobs
 
     # -- public API ------------------------------------------------------------
 
     def schedule(self, scenario: Scenario) -> SCARResult:
-        """Run the full SCAR search on ``scenario``."""
-        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database)
+        """Run the full SCAR search on ``scenario``.
+
+        The search is decomposed into independent (window, provisioning
+        allocation) tasks.  With ``jobs > 1`` the tasks fan out over a
+        process pool; each task is internally deterministic (seeded by
+        its window index) and the merge orders outcomes by
+        ``(window_index, alloc_index)`` and picks per-window winners by
+        ``(score, alloc_index)`` -- exactly the serial iteration order --
+        so parallel results are bit-identical to serial ones.
+        """
+        wall_start = time.perf_counter()
+        cache = EvalCache()
+        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database,
+                                      cache=cache)
         expected_lat = expected_layer_latencies(scenario, self.mcm,
                                                 self.database)
         expected_en = expected_layer_energies(scenario, self.mcm,
@@ -129,24 +152,81 @@ class SCARScheduler:
         else:
             plan = uniform_pack(scenario, self.nsplits)
 
-        best_windows: list[WindowCandidate] = []
-        all_candidates: list[tuple[WindowCandidate, ...]] = []
-        num_evaluated = 0
+        tasks = []
         for window in plan.windows:
-            collected: list[WindowCandidate] = []
-            best = self._search_one_window(
-                scenario, window, expected_lat, expected_en, evaluator,
-                collected)
-            best_windows.append(best)
-            all_candidates.append(tuple(collected))
-            num_evaluated += len(collected)
+            shares = self._window_shares(window, expected_lat, expected_en)
+            for alloc_index, alloc in enumerate(
+                    self._allocations(window, shares)):
+                tasks.append((window, alloc_index, alloc))
+
+        if self.jobs > 1 and len(tasks) > 1:
+            outcomes = self._run_tasks_parallel(scenario, tasks,
+                                                expected_lat)
+        else:
+            outcomes = []
+            for window, alloc_index, alloc in tasks:
+                collected: list[WindowCandidate] = []
+                best = self._search_one_alloc(scenario, window, alloc,
+                                              expected_lat, evaluator,
+                                              collected)
+                outcomes.append((window.index, alloc_index, best,
+                                 collected, None))
+
+        best_by_window, all_candidates, num_evaluated, worker_stats = \
+            self._merge_outcomes(plan, outcomes)
 
         schedule = Schedule(windows=tuple(
-            candidate.window for candidate in best_windows))
+            candidate.window for candidate in best_by_window))
         metrics = evaluator.evaluate(schedule)
+        perf = PerfReport(
+            wall_s=time.perf_counter() - wall_start,
+            num_evaluated=num_evaluated,
+            num_windows=plan.num_windows,
+            jobs=self.jobs,
+            cache=merge_stats(cache.snapshot(), *worker_stats),
+        )
+        log_report(perf)
         return SCARResult(schedule=schedule, metrics=metrics, plan=plan,
                           window_candidates=tuple(all_candidates),
-                          num_evaluated=num_evaluated)
+                          num_evaluated=num_evaluated, perf=perf)
+
+    # -- task fan-out / merge -------------------------------------------------
+
+    def _run_tasks_parallel(self, scenario: Scenario, tasks,
+                            expected_lat: list[list[float]]):
+        """Fan (window, alloc) tasks out over a process pool.
+
+        Each worker builds one evaluator (fresh cache) at startup and
+        reuses it across the tasks it receives; per-task cache-stat
+        deltas ride back with the results so the parent can merge exact
+        aggregate counters.
+        """
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(self, scenario, expected_lat)) as pool:
+            return list(pool.map(_worker_run, tasks))
+
+    @staticmethod
+    def _merge_outcomes(plan: PackingPlan, outcomes):
+        """Deterministically merge per-(window, alloc) search outcomes."""
+        outcomes = sorted(outcomes, key=lambda o: (o[0], o[1]))
+        best: dict[int, tuple[tuple[float, int], WindowCandidate]] = {}
+        collected: dict[int, list[WindowCandidate]] = {}
+        worker_stats = []
+        for window_index, alloc_index, candidate, evaluated, stats \
+                in outcomes:
+            collected.setdefault(window_index, []).extend(evaluated)
+            rank = (candidate.score, alloc_index)
+            if window_index not in best or rank < best[window_index][0]:
+                best[window_index] = (rank, candidate)
+            if stats is not None:
+                worker_stats.append(stats)
+        best_by_window = [best[w.index][1] for w in plan.windows]
+        all_candidates = [tuple(collected.get(w.index, []))
+                          for w in plan.windows]
+        num_evaluated = sum(len(c) for c in all_candidates)
+        return best_by_window, all_candidates, num_evaluated, worker_stats
 
     # -- engine plumbing ----------------------------------------------------------
 
@@ -193,30 +273,56 @@ class SCARScheduler:
                 boundary, self.mcm.nop_gbps, self.budget)
         return ranked
 
-    def _search_one_window(self, scenario: Scenario,
-                           window: WindowAssignment,
-                           expected_lat: list[list[float]],
-                           expected_en: list[list[float]],
-                           evaluator: ScheduleEvaluator,
-                           collected: list[WindowCandidate]
-                           ) -> WindowCandidate:
-        shares = self._window_shares(window, expected_lat, expected_en)
-        best: WindowCandidate | None = None
-        for alloc in self._allocations(window, shares):
-            ranked = self._rank_for_window(scenario, window, alloc,
-                                           expected_lat)
-            if self.seg_search == "evolutionary":
-                seeds = {m: [r.cuts for r in ranked[m]] for m in ranked}
-                search = EvolutionarySegSearch(
-                    window, alloc, evaluator, self.objective, self.budget,
-                    config=self.ga_config, seeds=seeds)
-                candidate = search.run()
-                collected.extend(search.evaluated)
-            else:
-                candidate = search_window(window, ranked, evaluator,
-                                          self.objective, self.budget,
-                                          collect=collected)
-            if best is None or candidate.score < best.score:
-                best = candidate
-        assert best is not None
-        return best
+    def _search_one_alloc(self, scenario: Scenario,
+                          window: WindowAssignment, alloc: dict[int, int],
+                          expected_lat: list[list[float]],
+                          evaluator: ScheduleEvaluator,
+                          collected: list[WindowCandidate]
+                          ) -> WindowCandidate:
+        """SEG + SCHED search of one window under one node allocation."""
+        ranked = self._rank_for_window(scenario, window, alloc,
+                                       expected_lat)
+        if self.seg_search == "evolutionary":
+            seeds = {m: [r.cuts for r in ranked[m]] for m in ranked}
+            search = EvolutionarySegSearch(
+                window, alloc, evaluator, self.objective, self.budget,
+                config=self.ga_config, seeds=seeds)
+            candidate = search.run()
+            collected.extend(search.evaluated)
+            return candidate
+        return search_window(window, ranked, evaluator, self.objective,
+                             self.budget, collect=collected)
+
+
+# -- process-pool worker state (one evaluator per worker process) -----------
+
+_WORKER: dict = {}
+
+
+def _worker_init(scheduler: SCARScheduler, scenario: Scenario,
+                 expected_lat: list[list[float]]) -> None:
+    _WORKER["scheduler"] = scheduler
+    _WORKER["scenario"] = scenario
+    _WORKER["expected_lat"] = expected_lat
+    _WORKER["evaluator"] = ScheduleEvaluator(
+        scenario, scheduler.mcm, scheduler.database, cache=EvalCache())
+
+
+def _worker_run(task):
+    """Run one (window, alloc) task; return its outcome + stat deltas."""
+    window, alloc_index, alloc = task
+    scheduler: SCARScheduler = _WORKER["scheduler"]
+    evaluator: ScheduleEvaluator = _WORKER["evaluator"]
+    before = evaluator.cache.snapshot()
+    collected: list[WindowCandidate] = []
+    best = scheduler._search_one_alloc(_WORKER["scenario"], window, alloc,
+                                       _WORKER["expected_lat"], evaluator,
+                                       collected)
+    after = evaluator.cache.snapshot()
+    delta = {
+        table: CacheStats(
+            hits=stats.hits - before.get(table, CacheStats()).hits,
+            misses=stats.misses - before.get(table, CacheStats()).misses)
+        for table, stats in after.items()
+    }
+    return window.index, alloc_index, best, collected, delta

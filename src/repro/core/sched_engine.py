@@ -65,8 +65,18 @@ def node_affinity_ranks(window: WindowAssignment,
 
     Each model ranks every chiplet by the objective score of executing its
     window layers on that chiplet's *class* (computed once per class, so
-    this is cheap against the memoized cost database).
+    this is cheap against the memoized cost database).  The ranks depend
+    only on (window ranges, objective), so they are memoized in the
+    evaluator's cache and shared across provisioning allocations.
     """
+    return evaluator.cache.lookup(
+        "affinity", (window.ranges, objective),
+        lambda: _node_affinity_ranks(window, evaluator, objective))
+
+
+def _node_affinity_ranks(window: WindowAssignment,
+                         evaluator: ScheduleEvaluator,
+                         objective: Objective) -> dict[int, NodeRank]:
     mcm = evaluator.mcm
     database = evaluator.database
     ranks: dict[int, NodeRank] = {}

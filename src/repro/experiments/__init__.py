@@ -26,7 +26,9 @@ from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentRunner,
     StrategyRun,
+    aggregate_perf,
 )
+from repro.perf import drain_perf_reports
 from repro.experiments.scale6x6 import Scale6x6Result, run_fig13
 from repro.experiments.schedule_detail import BreakdownResult, run_breakdown
 from repro.experiments.topology_ablation import TopologyResult, run_fig12
@@ -35,7 +37,8 @@ __all__ = [
     "ArvrResult", "BreakdownResult", "CORE_STRATEGIES",
     "DatacenterResult", "ExperimentConfig", "ExperimentRunner",
     "Fig2Result", "ParetoResult", "STRATEGIES", "Scale6x6Result",
-    "StrategyRun", "TopologyResult", "ascii_scatter", "format_table",
+    "StrategyRun", "TopologyResult", "aggregate_perf", "ascii_scatter",
+    "drain_perf_reports", "format_table",
     "normalize", "pareto_front", "run_arvr", "run_breakdown",
     "run_datacenter", "run_fig11", "run_fig12", "run_fig13", "run_fig2",
     "run_fig8", "run_nsplits_ablation", "run_pareto", "run_packing_ablation",

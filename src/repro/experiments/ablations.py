@@ -27,7 +27,8 @@ def _scheduler(strategy: str, use_case: str, config: ExperimentConfig,
                **overrides) -> SCARScheduler:
     mcm = templates.build(STRATEGIES[strategy][0], use_case)
     kwargs = dict(objective=objective_by_name("edp"),
-                  nsplits=config.nsplits, budget=config.budget)
+                  nsplits=config.nsplits, budget=config.budget,
+                  jobs=config.jobs)
     kwargs.update(overrides)
     return SCARScheduler(mcm, **kwargs)
 

@@ -21,6 +21,7 @@ from repro.core.scoring import Objective, objective_by_name
 from repro.dataflow.database import LayerCostDatabase
 from repro.errors import ConfigError
 from repro.mcm import templates
+from repro.perf import PerfReport, merge_stats
 from repro.workloads.model import Scenario
 
 #: strategy name -> (MCM template, scheduler policy)
@@ -54,20 +55,23 @@ class ExperimentConfig:
     """Runtime knobs shared by every experiment driver.
 
     ``fast`` presets keep CI benches to seconds/minutes; ``full`` uses the
-    paper's defaults (nsplits=4, generous budget).
+    paper's defaults (nsplits=4, generous budget).  ``jobs`` fans the SCAR
+    window search out over worker processes (results are bit-identical to
+    serial runs, see :meth:`repro.core.scar.SCARScheduler.schedule`).
     """
 
     budget: SearchBudget = field(default_factory=SearchBudget)
     nsplits: int = 4
     seg_search: str = "enumerative"
+    jobs: int = 1
 
     @classmethod
-    def fast(cls) -> "ExperimentConfig":
-        return cls(budget=QUICK_BUDGET, nsplits=2)
+    def fast(cls, jobs: int = 1) -> "ExperimentConfig":
+        return cls(budget=QUICK_BUDGET, nsplits=2, jobs=jobs)
 
     @classmethod
-    def full(cls) -> "ExperimentConfig":
-        return cls()
+    def full(cls, jobs: int = 1) -> "ExperimentConfig":
+        return cls(jobs=jobs)
 
     def with_nsplits(self, nsplits: int) -> "ExperimentConfig":
         return replace(self, nsplits=nsplits)
@@ -108,12 +112,18 @@ class StrategyRun:
 
 
 class ExperimentRunner:
-    """Memoizing front-end over the schedulers for experiment drivers."""
+    """Memoizing front-end over the schedulers for experiment drivers.
+
+    SCAR runs' :class:`~repro.perf.PerfReport` instances accumulate in
+    ``perf_reports`` so drivers (and ``--perf-stats``) can report
+    aggregate evaluation throughput and cache effectiveness.
+    """
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
         self._cache: dict[tuple, StrategyRun] = {}
         self._databases: dict[tuple, LayerCostDatabase] = {}
+        self.perf_reports: list[PerfReport] = []
 
     def _database(self, clock_hz: float) -> LayerCostDatabase:
         key = (clock_hz,)
@@ -155,9 +165,12 @@ class ExperimentRunner:
                 budget=self.config.budget,
                 database=database,
                 seg_search=seg_search,
+                jobs=self.config.jobs,
             )
             scar_result = scheduler.schedule(scenario)
             metrics, schedule = scar_result.metrics, scar_result.schedule
+            if scar_result.perf is not None:
+                self.perf_reports.append(scar_result.perf)
 
         run = StrategyRun(strategy=strategy, scenario_name=scenario.name,
                           objective=objective, metrics=metrics,
@@ -170,3 +183,20 @@ class ExperimentRunner:
         """Run several strategies on one scenario."""
         return {name: self.run(scenario, name, objective)
                 for name in strategies}
+
+    def perf_summary(self) -> PerfReport:
+        """Aggregate perf report over every SCAR run this runner made."""
+        return aggregate_perf(self.perf_reports, jobs=self.config.jobs)
+
+
+def aggregate_perf(reports: list[PerfReport],
+                   jobs: int | None = None) -> PerfReport:
+    """Merge perf reports of many runs into one summary."""
+    return PerfReport(
+        wall_s=sum(p.wall_s for p in reports),
+        num_evaluated=sum(p.num_evaluated for p in reports),
+        num_windows=sum(p.num_windows for p in reports),
+        jobs=jobs if jobs is not None
+        else max((p.jobs for p in reports), default=1),
+        cache=merge_stats(*(p.cache for p in reports)),
+    )

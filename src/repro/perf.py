@@ -1,0 +1,141 @@
+"""Performance instrumentation: cache counters and run reports.
+
+The evaluation acceleration layer (see DESIGN.md, "Evaluation
+acceleration") surfaces its effect through two small value types:
+
+* :class:`CacheStats` -- hit/miss counters for one memo table of
+  :class:`repro.core.evalcache.EvalCache` (or any other memo that wants
+  to report, e.g. the evolutionary fitness cache).
+* :class:`PerfReport` -- one scheduling run's wall time, evaluation
+  counts and merged cache statistics.  ``render()`` is the human-readable
+  form printed by ``scar ... --perf-stats``; ``to_dict()`` is the
+  machine-readable form written into ``benchmarks/BENCH_*.json``.
+
+Both types merge associatively, so parallel workers can ship their local
+counters back to the parent for a deterministic aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memo table."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hit_rate}
+
+
+def merge_stats(*stat_maps: dict[str, CacheStats]) -> dict[str, CacheStats]:
+    """Merge per-table stat maps (parallel workers -> one aggregate)."""
+    merged: dict[str, CacheStats] = {}
+    for stats in stat_maps:
+        for table, entry in stats.items():
+            base = merged.setdefault(table, CacheStats())
+            base.hits += entry.hits
+            base.misses += entry.misses
+    return merged
+
+
+@dataclass
+class PerfReport:
+    """Timing / evaluation statistics of one scheduling run.
+
+    ``num_evaluated``    fully evaluated window candidates.
+    ``num_windows``      time windows searched.
+    ``jobs``             worker processes used (1 = serial).
+    ``cache``            per-table cache counters, merged across workers.
+    """
+
+    wall_s: float = 0.0
+    num_evaluated: int = 0
+    num_windows: int = 0
+    jobs: int = 1
+    cache: dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def evals_per_s(self) -> float:
+        return self.num_evaluated / self.wall_s if self.wall_s > 0 else 0.0
+
+    def cache_table(self, table: str) -> CacheStats:
+        """Counters of one memo table (zeroes when the table never ran)."""
+        return self.cache.get(table, CacheStats())
+
+    @property
+    def overall_hit_rate(self) -> float:
+        """Hit rate over every memo table combined."""
+        hits = sum(s.hits for s in self.cache.values())
+        lookups = sum(s.lookups for s in self.cache.values())
+        return hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        """Human-readable block for ``--perf-stats``."""
+        lines = [
+            f"wall time      {self.wall_s * 1e3:.1f} ms "
+            f"({self.jobs} job{'s' if self.jobs != 1 else ''})",
+            f"evaluations    {self.num_evaluated} window candidates over "
+            f"{self.num_windows} windows ({self.evals_per_s:.0f} evals/s)",
+        ]
+        for table in sorted(self.cache):
+            stats = self.cache[table]
+            lines.append(
+                f"cache[{table:8s}] {stats.hits}/{stats.lookups} hits "
+                f"({stats.hit_rate:.1%})")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (the ``BENCH_*.json`` payload)."""
+        return {
+            "wall_s": self.wall_s,
+            "num_evaluated": self.num_evaluated,
+            "num_windows": self.num_windows,
+            "jobs": self.jobs,
+            "evals_per_s": self.evals_per_s,
+            "cache": {table: stats.to_dict()
+                      for table, stats in sorted(self.cache.items())},
+        }
+
+
+#: Process-wide PerfReport log.  Every ``SCARScheduler.schedule`` call
+#: logs its report here, so front-ends (``scar ... --perf-stats``) can
+#: aggregate runs made by experiment drivers that construct their
+#: schedulers internally.  Capped so long-lived library processes that
+#: never drain it cannot grow it without bound.
+GLOBAL_PERF: list[PerfReport] = []
+
+_GLOBAL_PERF_CAP = 4096
+
+
+def log_report(report: PerfReport) -> None:
+    """Append to the process-wide perf log, evicting the oldest past cap."""
+    GLOBAL_PERF.append(report)
+    if len(GLOBAL_PERF) > _GLOBAL_PERF_CAP:
+        del GLOBAL_PERF[:len(GLOBAL_PERF) - _GLOBAL_PERF_CAP]
+
+
+def drain_perf_reports() -> list[PerfReport]:
+    """Return and clear the process-wide perf log."""
+    reports = list(GLOBAL_PERF)
+    GLOBAL_PERF.clear()
+    return reports

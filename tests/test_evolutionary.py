@@ -91,3 +91,46 @@ class TestGA:
         best = search.run()
         for chain in best.window.chains:
             assert len(chain) <= 2
+
+    def test_fitness_memo_reports_hits(self, search):
+        search.run()
+        stats = search.evaluator.cache.stats["fitness"]
+        assert stats.lookups >= 4  # at least one full population scored
+        assert stats.misses >= 1
+
+    def test_fitness_budget_uses_slice_helper(self, search, small_budget):
+        evals = 4 * (2 + 1)  # population_size * (generations + 1)
+        assert search._fitness_budget == small_budget.fitness_slice(evals)
+
+
+class TestSchedulerReproducibility:
+    """Same SearchBudget.seed => identical search outcome, even parallel."""
+
+    def _schedule(self, scenario, mcm, seed, jobs=1):
+        from repro.core.scar import SCARScheduler
+        budget = SearchBudget(top_k_segmentations=2,
+                              max_segment_candidates=16,
+                              max_root_combos=4, max_paths_per_model=4,
+                              max_candidates_per_window=40, seed=seed)
+        return SCARScheduler(mcm, nsplits=1, budget=budget,
+                             seg_search="evolutionary",
+                             jobs=jobs).schedule(scenario)
+
+    def test_same_seed_identical_runs(self, tiny_scenario, het_mcm):
+        a = self._schedule(tiny_scenario, het_mcm, seed=3)
+        b = self._schedule(tiny_scenario, het_mcm, seed=3)
+        assert a.num_evaluated == b.num_evaluated
+        assert a.schedule == b.schedule
+        assert a.metrics == b.metrics
+
+    def test_same_seed_identical_under_jobs(self, tiny_scenario, het_mcm):
+        serial = self._schedule(tiny_scenario, het_mcm, seed=3)
+        parallel = self._schedule(tiny_scenario, het_mcm, seed=3, jobs=2)
+        assert serial.num_evaluated == parallel.num_evaluated
+        assert serial.schedule == parallel.schedule
+        assert serial.metrics == parallel.metrics
+
+    def test_different_seed_may_differ_but_is_valid(self, tiny_scenario,
+                                                    het_mcm):
+        result = self._schedule(tiny_scenario, het_mcm, seed=11)
+        result.schedule.validate(tiny_scenario)

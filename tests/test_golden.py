@@ -1,0 +1,68 @@
+"""Golden determinism snapshots for the SCAR scheduler.
+
+These pin the end-to-end numeric behaviour of the full search pipeline on
+``tiny_scenario`` for the four engine-mode combinations (packing x
+provisioning x seg_search), so that refactors of the evaluation hot path
+-- the segment-cost cache, the parallel window search -- provably change
+nothing numerically.  If an intentional model change shifts these values,
+regenerate them with the snippet in each failure message and review the
+diff in the PR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.scar import SCARScheduler
+
+#: (packing, provisioning, seg_search) -> (latency_s, energy_j, edp).
+#: Regenerate: run SCARScheduler on tiny_scenario with GOLDEN_BUDGET,
+#: nsplits=1, on het_sides_3x3 and print metrics with repr().
+GOLDEN = {
+    ("greedy", "uniform", "enumerative"):
+        (5.571568e-05, 0.00021417920256000002, 1.1933139912488141e-08),
+    ("uniform", "uniform", "enumerative"):
+        (5.769968e-05, 0.00022271901184, 1.285081571308421e-08),
+    ("greedy", "exhaustive", "enumerative"):
+        (5.4435679999999996e-05, 0.00021271739904, 1.1579416264573746e-08),
+    ("greedy", "uniform", "evolutionary"):
+        (5.4435679999999996e-05, 0.00021271739904, 1.1579416264573746e-08),
+}
+
+GOLDEN_BUDGET = SearchBudget(top_k_segmentations=2,
+                             max_segment_candidates=16,
+                             max_root_combos=4, max_paths_per_model=4,
+                             max_candidates_per_window=40, seed=1)
+
+
+@pytest.mark.parametrize("packing,provisioning,seg_search",
+                         sorted(GOLDEN))
+def test_golden_snapshot(tiny_scenario, het_mcm, packing, provisioning,
+                         seg_search):
+    result = SCARScheduler(het_mcm, nsplits=1, budget=GOLDEN_BUDGET,
+                           packing=packing, provisioning=provisioning,
+                           seg_search=seg_search).schedule(tiny_scenario)
+    latency, energy, edp = GOLDEN[(packing, provisioning, seg_search)]
+    assert result.metrics.latency_s == pytest.approx(latency, abs=1e-9,
+                                                     rel=1e-9)
+    assert result.metrics.energy_j == pytest.approx(energy, abs=1e-9,
+                                                    rel=1e-9)
+    assert result.metrics.edp == pytest.approx(edp, abs=1e-9, rel=1e-9)
+
+
+@pytest.mark.parametrize("packing,provisioning,seg_search",
+                         sorted(GOLDEN))
+def test_golden_snapshot_parallel(tiny_scenario, het_mcm, packing,
+                                  provisioning, seg_search):
+    """jobs=2 must reproduce the committed goldens bit-for-bit too."""
+    result = SCARScheduler(het_mcm, nsplits=1, budget=GOLDEN_BUDGET,
+                           packing=packing, provisioning=provisioning,
+                           seg_search=seg_search,
+                           jobs=2).schedule(tiny_scenario)
+    latency, energy, edp = GOLDEN[(packing, provisioning, seg_search)]
+    assert result.metrics.latency_s == pytest.approx(latency, abs=1e-9,
+                                                     rel=1e-9)
+    assert result.metrics.energy_j == pytest.approx(energy, abs=1e-9,
+                                                    rel=1e-9)
+    assert result.metrics.edp == pytest.approx(edp, abs=1e-9, rel=1e-9)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.metrics import ScheduleEvaluator
+from repro.core.metrics import ScheduleEvaluator, _divisors
 from repro.core.schedule import Schedule, Segment, WindowSchedule
 from repro.errors import SchedulingError
 
@@ -158,3 +158,26 @@ class TestPlacementSensitivity:
         lat_corner = evaluator.evaluate(corner).windows[0].model_latency(0)
         lat_center = evaluator.evaluate(center).windows[0].model_latency(0)
         assert lat_corner <= lat_center
+
+
+class TestDivisors:
+    """The O(sqrt n) divisor enumeration used for mini-batch search."""
+
+    def test_one(self):
+        assert _divisors(1) == (1,)
+
+    @pytest.mark.parametrize("prime", (2, 3, 5, 7, 97, 7919))
+    def test_primes(self, prime):
+        assert _divisors(prime) == (1, prime)
+
+    @pytest.mark.parametrize("square", (4, 9, 16, 36, 144, 10201))
+    def test_perfect_squares_no_duplicate_root(self, square):
+        divisors = _divisors(square)
+        assert len(divisors) == len(set(divisors))
+        root = int(square ** 0.5)
+        assert root in divisors
+
+    @pytest.mark.parametrize("value", list(range(1, 200)) + [1024, 5040])
+    def test_matches_naive_scan(self, value):
+        naive = tuple(d for d in range(1, value + 1) if value % d == 0)
+        assert _divisors(value) == naive

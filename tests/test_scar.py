@@ -98,6 +98,47 @@ class TestSchedulerModes:
         result.schedule.validate(tiny_scenario)
 
 
+class TestParallelSearch:
+    """jobs>1 must be bit-identical to the serial path."""
+
+    def test_invalid_jobs_rejected(self, het_mcm):
+        with pytest.raises(SearchError):
+            SCARScheduler(het_mcm, jobs=0)
+
+    def test_jobs2_bit_identical(self, tiny_scenario, het_mcm, budget):
+        serial = SCARScheduler(het_mcm, nsplits=1, budget=budget) \
+            .schedule(tiny_scenario)
+        parallel = SCARScheduler(het_mcm, nsplits=1, budget=budget,
+                                 jobs=2).schedule(tiny_scenario)
+        assert parallel.metrics == serial.metrics
+        assert parallel.schedule == serial.schedule
+        assert parallel.num_evaluated == serial.num_evaluated
+        assert parallel.window_candidates == serial.window_candidates
+
+    def test_jobs2_exhaustive_prov_bit_identical(self, tiny_scenario,
+                                                 het_mcm, budget):
+        kwargs = dict(nsplits=1, budget=budget,
+                      provisioning="exhaustive", prov_limit=12)
+        serial = SCARScheduler(het_mcm, **kwargs).schedule(tiny_scenario)
+        parallel = SCARScheduler(het_mcm, jobs=3, **kwargs) \
+            .schedule(tiny_scenario)
+        assert parallel.metrics == serial.metrics
+        assert parallel.schedule == serial.schedule
+        assert parallel.num_evaluated == serial.num_evaluated
+
+    def test_perf_report_attached(self, tiny_scenario, het_mcm, budget):
+        result = SCARScheduler(het_mcm, nsplits=1, budget=budget,
+                               jobs=2).schedule(tiny_scenario)
+        assert result.perf is not None
+        assert result.perf.jobs == 2
+        assert result.perf.num_evaluated == result.num_evaluated
+        assert result.perf.wall_s > 0
+        compute = result.perf.cache_table("compute")
+        assert compute.lookups > 0
+        # The whole point of the cache: repeated sub-chains hit.
+        assert compute.hit_rate > 0.5
+
+
 class TestHeterogeneityExploitation:
     def test_het_beats_worst_homogeneous(self, tiny_scenario, budget):
         """SCAR on het hardware must beat the worse homogeneous option."""
