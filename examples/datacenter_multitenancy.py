@@ -8,12 +8,13 @@ standalone NVDLA baseline.
 Run:  python examples/datacenter_multitenancy.py
 """
 
+from repro.api import Session
 from repro.experiments import (
     CORE_STRATEGIES,
     ExperimentConfig,
-    ExperimentRunner,
     format_table,
     normalize,
+    strategy_request,
 )
 from repro.workloads import scenario
 
@@ -23,8 +24,10 @@ def main() -> None:
     print(sc.summary())
     print()
 
-    runner = ExperimentRunner(ExperimentConfig.fast())
-    runs = runner.run_many(sc, CORE_STRATEGIES, objective="edp")
+    session = Session()
+    config = ExperimentConfig.fast()
+    runs = {name: session.submit(strategy_request(4, name, "edp", config))
+            for name in CORE_STRATEGIES}
 
     edps = {name: run.edp for name, run in runs.items()}
     latencies = {name: run.latency_s for name, run in runs.items()}

@@ -1,0 +1,350 @@
+"""Typed, serializable scheduling requests and results.
+
+:class:`ScheduleRequest` is the single declarative input of the public
+API: one frozen value object naming the workload (a Table III scenario id
+or an inline scenario spec), the MCM template, the scheduler policy and
+every search knob.  :class:`ScheduleResult` is the matching output:
+schedule, metrics, per-window candidate summaries and perf statistics.
+
+Both round-trip through plain JSON (``from_dict(to_dict(x)) == x``), so
+the same value objects drive in-process calls, batch fan-out over worker
+processes, files on disk and -- eventually -- an HTTP front-end.
+``ScheduleRequest.cache_key()`` is the canonical wire form and doubles as
+the :class:`~repro.api.session.Session` memo key, so any two requests
+that serialize identically share one result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+from repro.api.wire import (
+    CandidatePoint,
+    metrics_from_dict,
+    metrics_to_dict,
+    perf_from_dict,
+    perf_to_dict,
+)
+from repro.config.files import (
+    scenario_from_dict,
+    scenario_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.budget import SearchBudget
+from repro.core.metrics import ScheduleMetrics
+from repro.core.scar import SCARResult, assemble_candidate_points
+from repro.core.schedule import Schedule
+from repro.core.scoring import Objective, objective_by_name
+from repro.errors import ConfigError
+from repro.perf import PerfReport
+from repro.workloads import zoo
+from repro.workloads.model import Scenario
+from repro.workloads.scenarios import scenario as table3_scenario
+
+#: Wire-format version; bumped on incompatible schema changes.
+WIRE_VERSION = 1
+
+_REQUEST_KIND = "schedule_request"
+_RESULT_KIND = "schedule_result"
+
+
+def scenario_spec(scenario: Scenario) -> dict[str, Any]:
+    """Inline-spec form of a scenario for :class:`ScheduleRequest`.
+
+    Models that rebuild bit-identically from the zoo are referenced by
+    name (compact, Table III style); anything else -- custom or modified
+    models -- has its layers inlined so the spec is self-contained.
+    """
+    spec = scenario_to_dict(scenario)
+    inlined = scenario_to_dict(scenario, inline_layers=True)
+    for inst, entry, full in zip(scenario, spec["models"],
+                                 inlined["models"]):
+        try:
+            if zoo.build(entry["model"]) == inst.model:
+                continue
+        except Exception:
+            pass
+        entry["layers"] = full["layers"]
+    return spec
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One declarative scheduling job.
+
+    Exactly one of ``scenario_id`` (Table III reference) and
+    ``scenario_spec`` (inline workload description, see
+    :func:`repro.config.files.scenario_from_dict`) must be set.
+    ``policy`` names an entry of the scheduler registry
+    (:mod:`repro.api.registry`); the engine-mode fields (``packing``,
+    ``provisioning``, ``seg_search``, ...) are forwarded to policies that
+    understand them and ignored by the baselines, mirroring the paper's
+    scheduler hyperparameters.
+
+    ``use_eval_cache`` toggles the segment-cost memo inside the SCAR
+    evaluator; ``memoize`` opts the request out of the session-level
+    result memo.  Both participate in :meth:`cache_key` -- together with
+    ``jobs`` -- so runs with different caching/parallelism settings can
+    never alias to one memo entry.
+    """
+
+    scenario_id: int | None = None
+    scenario_spec: dict[str, Any] | None = None
+    template: str = "het_sides_3x3"
+    policy: str = "scar"
+    objective: str = "edp"
+    latency_bound_s: float | None = None
+    nsplits: int = 4
+    budget: SearchBudget = field(default_factory=SearchBudget)
+    packing: str = "greedy"
+    provisioning: str = "uniform"
+    prov_limit: int = 64
+    max_nodes_per_model: int | None = None
+    seg_search: str = "enumerative"
+    jobs: int = 1
+    use_eval_cache: bool = True
+    memoize: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.scenario_id is None) == (self.scenario_spec is None):
+            raise ConfigError(
+                "exactly one of scenario_id and scenario_spec must be set")
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.nsplits < 0:
+            raise ConfigError(f"nsplits must be >= 0, got {self.nsplits}")
+        objective_by_name(self.objective)  # validates the name
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the
+        # scenario_spec dict; the canonical wire form is the identity.
+        return hash(self.cache_key())
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def for_scenario(cls, scenario: int | Scenario,
+                     **kwargs: Any) -> "ScheduleRequest":
+        """Build a request from a scenario id or an in-memory scenario."""
+        if isinstance(scenario, Scenario):
+            return cls(scenario_spec=scenario_spec(scenario), **kwargs)
+        return cls(scenario_id=scenario, **kwargs)
+
+    def replace(self, **changes: Any) -> "ScheduleRequest":
+        """A copy with ``changes`` applied (dataclasses.replace)."""
+        return replace(self, **changes)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_scenario(self) -> Scenario:
+        """Materialize the workload this request names."""
+        if self.scenario_id is not None:
+            return table3_scenario(self.scenario_id)
+        return scenario_from_dict(self.scenario_spec)
+
+    def build_objective(self) -> Objective:
+        """The search objective, with the optional latency bound applied."""
+        objective = objective_by_name(self.objective)
+        if self.latency_bound_s is not None:
+            objective = replace(objective,
+                                latency_bound_s=self.latency_bound_s)
+        return objective
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (the wire format; see DESIGN.md)."""
+        return {
+            "kind": _REQUEST_KIND,
+            "version": WIRE_VERSION,
+            "scenario_id": self.scenario_id,
+            "scenario_spec": self.scenario_spec,
+            "template": self.template,
+            "policy": self.policy,
+            "objective": self.objective,
+            "latency_bound_s": self.latency_bound_s,
+            "nsplits": self.nsplits,
+            "budget": asdict(self.budget),
+            "packing": self.packing,
+            "provisioning": self.provisioning,
+            "prov_limit": self.prov_limit,
+            "max_nodes_per_model": self.max_nodes_per_model,
+            "seg_search": self.seg_search,
+            "jobs": self.jobs,
+            "use_eval_cache": self.use_eval_cache,
+            "memoize": self.memoize,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScheduleRequest":
+        """Rebuild a request from its wire form."""
+        _check_envelope(data, _REQUEST_KIND)
+        try:
+            return cls(
+                scenario_id=data["scenario_id"],
+                scenario_spec=data["scenario_spec"],
+                template=data["template"],
+                policy=data["policy"],
+                objective=data["objective"],
+                latency_bound_s=data.get("latency_bound_s"),
+                nsplits=data["nsplits"],
+                budget=SearchBudget(**data["budget"]),
+                packing=data["packing"],
+                provisioning=data["provisioning"],
+                prov_limit=data["prov_limit"],
+                max_nodes_per_model=data.get("max_nodes_per_model"),
+                seg_search=data["seg_search"],
+                jobs=data["jobs"],
+                use_eval_cache=data["use_eval_cache"],
+                memoize=data["memoize"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed schedule request: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleRequest":
+        return cls.from_dict(_loads(text, "schedule request"))
+
+    def cache_key(self) -> str:
+        """Canonical identity for session memoization.
+
+        The compact sorted-keys JSON dump of :meth:`to_dict`, so the memo
+        key covers *every* field -- scenario, template, policy, objective,
+        budget, engine modes, ``jobs`` and the cache flags.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Everything one :class:`ScheduleRequest` produced.
+
+    ``window_candidates`` summarizes the evaluated population per time
+    window (rank 0 after sorting by score = the chosen candidate); the
+    Pareto figures consume it via :meth:`candidate_points`.  ``raw``
+    keeps the in-process :class:`~repro.core.scar.SCARResult` (full
+    window candidates, packing plan) for callers that need more than the
+    wire form carries; it never crosses the wire and is excluded from
+    equality so JSON round-trips compare clean.
+    """
+
+    request: ScheduleRequest
+    schedule: Schedule
+    metrics: ScheduleMetrics
+    window_candidates: tuple[tuple[CandidatePoint, ...], ...] = ()
+    num_evaluated: int = 0
+    perf: PerfReport | None = None
+    raw: SCARResult | None = field(default=None, compare=False,
+                                   repr=False)
+
+    # -- metric conveniences (mirror the legacy StrategyRun) ---------------
+
+    @property
+    def latency_s(self) -> float:
+        return self.metrics.latency_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.metrics.energy_j
+
+    @property
+    def edp(self) -> float:
+        return self.metrics.edp
+
+    def value(self, metric: str) -> float:
+        """Look up latency / energy / edp by name."""
+        if metric == "latency":
+            return self.latency_s
+        if metric == "energy":
+            return self.energy_j
+        if metric == "edp":
+            return self.edp
+        raise ConfigError(f"unknown metric {metric!r}")
+
+    def candidate_points(self) -> list[tuple[float, float]]:
+        """(latency_s, energy_j) of assembled candidate schedules.
+
+        Same construction as
+        :meth:`repro.core.scar.SCARResult.candidate_points` (one shared
+        helper): same-rank window candidates combine across windows;
+        policies without a candidate population contribute their single
+        schedule point.
+        """
+        return assemble_candidate_points(
+            self.window_candidates,
+            fallback=(self.metrics.latency_s, self.metrics.energy_j),
+            score=lambda c: c.score,
+            point=lambda c: (c.latency_s, c.energy_j))
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (request echoed back for self-description)."""
+        return {
+            "kind": _RESULT_KIND,
+            "version": WIRE_VERSION,
+            "request": self.request.to_dict(),
+            "schedule": schedule_to_dict(self.schedule),
+            "metrics": metrics_to_dict(self.metrics),
+            "window_candidates": [
+                [point.to_dict() for point in window]
+                for window in self.window_candidates
+            ],
+            "num_evaluated": self.num_evaluated,
+            "perf": None if self.perf is None else perf_to_dict(self.perf),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScheduleResult":
+        """Rebuild a result from its wire form (``raw`` does not survive)."""
+        _check_envelope(data, _RESULT_KIND)
+        try:
+            return cls(
+                request=ScheduleRequest.from_dict(data["request"]),
+                schedule=schedule_from_dict(data["schedule"]),
+                metrics=metrics_from_dict(data["metrics"]),
+                window_candidates=tuple(
+                    tuple(CandidatePoint.from_dict(point)
+                          for point in window)
+                    for window in data["window_candidates"]
+                ),
+                num_evaluated=data["num_evaluated"],
+                perf=None if data.get("perf") is None
+                else perf_from_dict(data["perf"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed schedule result: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleResult":
+        return cls.from_dict(_loads(text, "schedule result"))
+
+
+def _check_envelope(data: dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a {kind} document, got "
+                          f"{type(data).__name__}")
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise ConfigError(f"expected kind {kind!r}, got {got_kind!r}")
+    version = data.get("version")
+    if version != WIRE_VERSION:
+        raise ConfigError(f"unsupported wire version {version!r} "
+                          f"(supported: {WIRE_VERSION})")
+
+
+def _loads(text: str, what: str) -> dict[str, Any]:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"cannot parse {what}: {exc}") from exc

@@ -1,0 +1,202 @@
+"""The Session facade: lifecycle owner and batch executor.
+
+A :class:`Session` owns everything a scheduling run needs besides the
+request itself -- MCM construction, the memoized
+:class:`~repro.dataflow.database.LayerCostDatabase` per clock domain,
+resolved scenarios, the result memo and the accumulated perf reports --
+and exposes two calls:
+
+``submit(request)``         run one :class:`ScheduleRequest`.
+``submit_many(requests)``   run a batch, optionally fanned out over a
+                            process pool (``jobs=N``); results come back
+                            in request order and are bit-identical to a
+                            serial loop, the same contract as the
+                            parallel window search inside
+                            :class:`~repro.core.scar.SCARScheduler`.
+
+Results are memoized on :meth:`ScheduleRequest.cache_key`, which covers
+every request field including ``jobs`` and the cache flags, so runs with
+different parallelism or caching settings never alias.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable
+
+from repro.api import policies as _builtin_policies  # noqa: F401
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    PolicyContext,
+    SchedulerRegistry,
+)
+from repro.api.request import ScheduleRequest, ScheduleResult
+from repro.api.wire import CandidatePoint
+from repro.dataflow.database import LayerCostDatabase
+from repro.mcm import templates
+from repro.perf import PerfReport, aggregate_reports
+from repro.workloads.model import Scenario
+
+
+class Session:
+    """Memoizing front-end over the scheduler registry.
+
+    One session per process (or per logical tenant) is the intended
+    shape: experiments, the CLI and batch drivers all share databases and
+    results through it.  SCAR runs' perf reports accumulate in
+    ``perf_reports`` for aggregate throughput / cache-hit reporting.
+    """
+
+    def __init__(self, registry: SchedulerRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else DEFAULT_REGISTRY
+        self._memo: dict[str, ScheduleResult] = {}
+        self._databases: dict[float, LayerCostDatabase] = {}
+        self._scenarios: dict[str, Scenario] = {}
+        self.perf_reports: list[PerfReport] = []
+
+    # -- resource lifecycle ------------------------------------------------
+
+    def _database(self, clock_hz: float) -> LayerCostDatabase:
+        if clock_hz not in self._databases:
+            self._databases[clock_hz] = LayerCostDatabase(clock_hz=clock_hz)
+        return self._databases[clock_hz]
+
+    def _scenario(self, request: ScheduleRequest) -> Scenario:
+        key = f"id:{request.scenario_id}" \
+            if request.scenario_id is not None \
+            else "spec:" + json.dumps(request.scenario_spec,
+                                      sort_keys=True,
+                                      separators=(",", ":"))
+        if key not in self._scenarios:
+            self._scenarios[key] = request.resolve_scenario()
+        return self._scenarios[key]
+
+    # -- execution ---------------------------------------------------------
+
+    def submit(self, request: ScheduleRequest) -> ScheduleResult:
+        """Run one request (or serve it from the session memo)."""
+        key = request.cache_key()
+        if request.memoize and key in self._memo:
+            return self._memo[key]
+
+        scenario = self._scenario(request)
+        mcm = templates.build(request.template, scenario.use_case)
+        ctx = PolicyContext(request=request, scenario=scenario, mcm=mcm,
+                            database=self._database(mcm.clock_hz))
+        outcome = self.registry.run(ctx)
+        result = self._wrap(request, outcome)
+        if result.perf is not None:
+            self.perf_reports.append(result.perf)
+        if request.memoize:
+            self._memo[key] = result
+        return result
+
+    def submit_many(self, requests: Iterable[ScheduleRequest], *,
+                    jobs: int = 1) -> list[ScheduleResult]:
+        """Run a batch of requests, in request order.
+
+        ``jobs > 1`` fans memo-missing requests out over worker
+        processes (one fresh session per worker); each request is
+        independently deterministic, so the batch's schedules/metrics
+        are bit-identical to a serial loop.  Memoizable duplicates run
+        once, and worker perf reports / memo entries merge back into
+        this session in request order -- matching what a serial loop
+        would have accumulated.  Fanned-out results come back (and are
+        memoized) without the in-process ``raw`` population, which would
+        dominate the inter-process transfer; when a consumer needs the
+        full population, run the request through ``submit`` on a fresh
+        session or with ``memoize=False``.
+
+        A non-default registry must be picklable (module-level policy
+        functions) to cross into spawned workers; on fork-based
+        platforms it is inherited either way.
+        """
+        requests = list(requests)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs == 1 or len(requests) <= 1:
+            return [self.submit(request) for request in requests]
+
+        results: list[ScheduleResult | None] = [None] * len(requests)
+        #: one entry per unique run; memoizable duplicates share a slot.
+        pending: dict[str, list[int]] = {}
+        for i, request in enumerate(requests):
+            key = request.cache_key()
+            if request.memoize:
+                if key in self._memo:
+                    results[i] = self._memo[key]
+                else:
+                    pending.setdefault(key, []).append(i)
+            else:
+                pending.setdefault(f"unmemoized:{i}", []).append(i)
+        if pending:
+            workers = min(jobs, len(pending))
+            # The default registry needs no shipping: workers rebuild it
+            # (fork inherits any extra registrations either way).
+            registry = None if self.registry is DEFAULT_REGISTRY \
+                else self.registry
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_batch_worker_init,
+                                     initargs=(registry,)) as pool:
+                fanned = list(pool.map(
+                    _batch_worker_run,
+                    [requests[indices[0]] for indices in pending.values()]))
+            for indices, result in zip(pending.values(), fanned):
+                for i in indices:
+                    results[i] = result
+                if result.perf is not None:
+                    self.perf_reports.append(result.perf)
+                if requests[indices[0]].memoize:
+                    self._memo[requests[indices[0]].cache_key()] = result
+        return results  # type: ignore[return-value]
+
+    # -- reporting ---------------------------------------------------------
+
+    def perf_summary(self) -> PerfReport:
+        """Aggregate perf report over every SCAR run this session made."""
+        return aggregate_reports(self.perf_reports)
+
+    # -- result assembly ---------------------------------------------------
+
+    @staticmethod
+    def _wrap(request: ScheduleRequest, outcome) -> ScheduleResult:
+        scar_result = outcome.scar_result
+        if scar_result is None:
+            return ScheduleResult(request=request,
+                                  schedule=outcome.schedule,
+                                  metrics=outcome.metrics)
+        return ScheduleResult(
+            request=request,
+            schedule=outcome.schedule,
+            metrics=outcome.metrics,
+            window_candidates=tuple(
+                tuple(CandidatePoint(score=c.score,
+                                     latency_s=c.metrics.latency_s,
+                                     energy_j=c.metrics.energy_j)
+                      for c in window)
+                for window in scar_result.window_candidates),
+            num_evaluated=scar_result.num_evaluated,
+            perf=scar_result.perf,
+            raw=scar_result,
+        )
+
+
+# -- batch-pool worker state (one session per worker process) --------------
+
+_WORKER_SESSION: Session | None = None
+
+
+def _batch_worker_init(registry: SchedulerRegistry | None) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(registry)
+
+
+def _batch_worker_run(request: ScheduleRequest) -> ScheduleResult:
+    assert _WORKER_SESSION is not None
+    result = _WORKER_SESSION.submit(request)
+    # The raw candidate population stays in the worker: it is excluded
+    # from equality/wire anyway and would dominate the IPC payload.
+    return dataclasses.replace(result, raw=None)

@@ -1,0 +1,137 @@
+"""JSON wire-format converters for the public API value types.
+
+Everything the :mod:`repro.api` facade puts on the wire is plain JSON:
+dicts, lists, strings, numbers, booleans.  The converters here are exact
+inverses of each other -- ``from_dict(to_dict(x)) == x`` bit-for-bit --
+because every numeric field is a python float/int and JSON round-trips
+both losslessly (floats use shortest-repr round-tripping).
+
+Derived quantities (``edp``, ``hit_rate``, ``evals_per_s``) are emitted
+for the benefit of non-python consumers but ignored on the way back in,
+so they can never drift from the primary fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.metrics import (
+    ModelWindowMetrics,
+    ScheduleMetrics,
+    WindowMetrics,
+)
+from repro.errors import ConfigError
+from repro.perf import CacheStats, PerfReport
+
+
+@dataclass(frozen=True)
+class CandidatePoint:
+    """Wire-friendly summary of one evaluated window candidate.
+
+    ``score`` is the candidate's objective score inside its window (lower
+    is better); latency/energy are the window metrics the Pareto figures
+    consume.  Full :class:`~repro.core.sched_engine.WindowCandidate`
+    objects stay in-process (see ``ScheduleResult.raw``); only these
+    summaries cross the wire.
+    """
+
+    score: float
+    latency_s: float
+    energy_j: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"score": self.score, "latency_s": self.latency_s,
+                "energy_j": self.energy_j}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CandidatePoint":
+        try:
+            return cls(score=data["score"], latency_s=data["latency_s"],
+                       energy_j=data["energy_j"])
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed candidate point: {exc}") from exc
+
+
+# -- schedule metrics ------------------------------------------------------
+
+
+def metrics_to_dict(metrics: ScheduleMetrics) -> dict[str, Any]:
+    """Serialize a full schedule evaluation (windows and per-model rows)."""
+    return {
+        "latency_s": metrics.latency_s,
+        "energy_j": metrics.energy_j,
+        "edp": metrics.edp,  # derived; ignored by metrics_from_dict
+        "windows": [
+            {
+                "index": w.index,
+                "latency_s": w.latency_s,
+                "energy_j": w.energy_j,
+                "per_model": [
+                    {
+                        "model": m.model,
+                        "latency_s": m.latency_s,
+                        "energy_j": m.energy_j,
+                        "minibatch": m.minibatch,
+                        "tile_factor": m.tile_factor,
+                        "segment_latencies_s": list(m.segment_latencies_s),
+                    }
+                    for m in w.per_model
+                ],
+            }
+            for w in metrics.windows
+        ],
+    }
+
+
+def metrics_from_dict(data: dict[str, Any]) -> ScheduleMetrics:
+    """Rebuild a :class:`ScheduleMetrics` from its serialized form."""
+    try:
+        windows = tuple(
+            WindowMetrics(
+                index=w["index"],
+                latency_s=w["latency_s"],
+                energy_j=w["energy_j"],
+                per_model=tuple(
+                    ModelWindowMetrics(
+                        model=m["model"],
+                        latency_s=m["latency_s"],
+                        energy_j=m["energy_j"],
+                        minibatch=m["minibatch"],
+                        tile_factor=m["tile_factor"],
+                        segment_latencies_s=tuple(
+                            m["segment_latencies_s"]),
+                    )
+                    for m in w["per_model"]
+                ),
+            )
+            for w in data["windows"]
+        )
+        return ScheduleMetrics(latency_s=data["latency_s"],
+                               energy_j=data["energy_j"], windows=windows)
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed metrics: {exc}") from exc
+
+
+# -- perf reports ----------------------------------------------------------
+
+
+def perf_to_dict(perf: PerfReport) -> dict[str, Any]:
+    """Serialize a perf report (same payload as ``PerfReport.to_dict``)."""
+    return perf.to_dict()
+
+
+def perf_from_dict(data: dict[str, Any]) -> PerfReport:
+    """Rebuild a :class:`PerfReport`; derived rate fields are ignored."""
+    try:
+        return PerfReport(
+            wall_s=data["wall_s"],
+            num_evaluated=data["num_evaluated"],
+            num_windows=data["num_windows"],
+            jobs=data["jobs"],
+            cache={table: CacheStats(hits=entry["hits"],
+                                     misses=entry["misses"])
+                   for table, entry in data.get("cache", {}).items()},
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed perf report: {exc}") from exc

@@ -5,7 +5,13 @@ Regenerates any paper table/figure from the terminal::
     scar table4 --fast          # Table IV on the reduced budget
     scar fig9                   # Fig. 9 / Table VI breakdown
     scar schedule --scenario 4 --template het_sides_3x3
+    scar schedule --scenario 4 --fast --format json   # wire document
     scar list                   # available experiments
+
+The ``schedule`` command is a thin shell over :mod:`repro.api`: it builds
+one ``ScheduleRequest``, submits it to a ``Session`` and prints either
+the human-readable breakdown or (``--format json``) the result's JSON
+wire document; ``--output`` writes that same document to a file.
 
 ``--fast`` uses the CI budget (seconds-to-minutes); the default budget
 matches the paper's settings and can take several minutes per experiment.
@@ -72,29 +78,31 @@ def _cmd_list() -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    from repro.core import SCARScheduler, objective_by_name
+    from repro.api import ScheduleRequest, Session
     from repro.mcm import templates
-    from repro.workloads import scenario
 
-    sc = scenario(args.scenario)
-    mcm = templates.build(args.template, sc.use_case)
     config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
-    scheduler = SCARScheduler(mcm,
-                              objective=objective_by_name(args.objective),
-                              nsplits=config.nsplits, budget=config.budget,
-                              jobs=args.jobs)
-    result = scheduler.schedule(sc)
-    print(mcm.summary())
-    print(sc.summary())
-    print(result.schedule.describe(sc))
-    print(result.metrics.summary())
-    if args.perf_stats and result.perf is not None:
-        print()
-        print(result.perf.render())
+    request = ScheduleRequest(
+        scenario_id=args.scenario, template=args.template,
+        policy=args.policy, objective=args.objective,
+        nsplits=config.nsplits, budget=config.budget, jobs=args.jobs)
+    result = Session().submit(request)
     if args.output:
-        from repro.config import save_json, schedule_to_dict
-        save_json(schedule_to_dict(result.schedule), args.output)
-        print(f"schedule written to {args.output}")
+        from repro.config import save_json
+        save_json(result.to_dict(), args.output)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        sc = request.resolve_scenario()
+        print(templates.build(args.template, sc.use_case).summary())
+        print(sc.summary())
+        print(result.schedule.describe(sc))
+        print(result.metrics.summary())
+        if args.perf_stats and result.perf is not None:
+            print()
+            print(result.perf.render())
+        if args.output:
+            print(f"schedule written to {args.output}")
     return 0
 
 
@@ -106,16 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    from repro.api import DEFAULT_REGISTRY
+
     sched = sub.add_parser("schedule",
                            help="schedule one scenario on one template")
     sched.add_argument("--scenario", type=int, default=4,
                        help="Table III scenario id (1-10)")
     sched.add_argument("--template", default="het_sides_3x3",
                        help="MCM template name")
+    sched.add_argument("--policy", default="scar",
+                       choices=DEFAULT_REGISTRY.names(),
+                       help="scheduler policy (default: scar)")
     sched.add_argument("--objective", default="edp",
                        choices=("latency", "energy", "edp"))
+    sched.add_argument("--format", default="text",
+                       choices=("text", "json"),
+                       help="output format: human-readable text or the "
+                       "repro.api JSON wire document")
     sched.add_argument("--output", default=None,
-                       help="write the schedule JSON here")
+                       help="write the schedule-result JSON document here")
     _add_common_options(sched)
 
     for name, (description, _) in _EXPERIMENTS.items():
@@ -125,11 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _positive_int(value: str) -> int:
-    jobs = int(value)
-    if jobs < 1:
+    try:
+        parsed = int(value)
+    except ValueError:
         raise argparse.ArgumentTypeError(
-            f"must be a positive integer, got {value}")
-    return jobs
+            f"expected a positive integer, got {value!r}") from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer >= 1, got {value!r}")
+    return parsed
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:

@@ -45,6 +45,32 @@ from repro.perf import CacheStats, PerfReport, log_report, merge_stats
 from repro.workloads.model import Scenario
 
 
+def assemble_candidate_points(window_candidates, *, fallback, score,
+                              point) -> list[tuple[float, float]]:
+    """(latency_s, energy_j) of assembled candidate schedules.
+
+    Candidate schedules are formed by combining same-rank window
+    candidates across windows after ranking each window by ``score``
+    (rank 0 = the chosen schedule); ``point`` extracts one candidate's
+    (latency_s, energy_j) and ``fallback`` is the single schedule point
+    used when no population was collected.  Shared by
+    :meth:`SCARResult.candidate_points` and the wire-side
+    ``repro.api.ScheduleResult.candidate_points`` so the Pareto
+    construction cannot diverge between the two.
+    """
+    if not window_candidates:
+        return [fallback]
+    ranked_per_window = [sorted(cands, key=score)
+                         for cands in window_candidates]
+    depth = min(len(r) for r in ranked_per_window)
+    points = []
+    for rank in range(depth):
+        latency = sum(point(r[rank])[0] for r in ranked_per_window)
+        energy = sum(point(r[rank])[1] for r in ranked_per_window)
+        points.append((latency, energy))
+    return points
+
+
 @dataclass(frozen=True)
 class SCARResult:
     """Everything a scheduling run produced."""
@@ -57,27 +83,12 @@ class SCARResult:
     perf: PerfReport | None = None
 
     def candidate_points(self) -> list[tuple[float, float]]:
-        """(latency_s, energy_j) of assembled candidate schedules.
-
-        Candidate schedules are formed by combining same-rank window
-        candidates across windows (rank 0 = the chosen schedule); used for
-        the Pareto scatter figures.
-        """
-        if not self.window_candidates:
-            return [(self.metrics.latency_s, self.metrics.energy_j)]
-        ranked_per_window = [
-            sorted(cands, key=lambda c: c.score)
-            for cands in self.window_candidates
-        ]
-        depth = min(len(r) for r in ranked_per_window)
-        points = []
-        for rank in range(depth):
-            latency = sum(r[rank].metrics.latency_s
-                          for r in ranked_per_window)
-            energy = sum(r[rank].metrics.energy_j
-                         for r in ranked_per_window)
-            points.append((latency, energy))
-        return points
+        """See :func:`assemble_candidate_points` (Pareto figure input)."""
+        return assemble_candidate_points(
+            self.window_candidates,
+            fallback=(self.metrics.latency_s, self.metrics.energy_j),
+            score=lambda c: c.score,
+            point=lambda c: (c.metrics.latency_s, c.metrics.energy_j))
 
 
 class SCARScheduler:
@@ -95,6 +106,9 @@ class SCARScheduler:
     ``jobs``                 worker processes for the window search
                              (1 = serial; results are bit-identical
                              either way, see :meth:`schedule`).
+    ``use_cache``            enable the segment-cost memo (results are
+                             bit-identical with it off; it only trades
+                             memory for speed).
     """
 
     def __init__(self, mcm: MCM, *, objective: Objective | None = None,
@@ -104,7 +118,8 @@ class SCARScheduler:
                  max_nodes_per_model: int | None = None,
                  seg_search: str = "enumerative",
                  ga_config: GAConfig | None = None,
-                 prov_limit: int = 64, jobs: int = 1) -> None:
+                 prov_limit: int = 64, jobs: int = 1,
+                 use_cache: bool = True) -> None:
         if packing not in ("greedy", "uniform"):
             raise SearchError(f"unknown packing mode {packing!r}")
         if provisioning not in ("uniform", "exhaustive"):
@@ -125,6 +140,7 @@ class SCARScheduler:
         self.ga_config = ga_config
         self.prov_limit = prov_limit
         self.jobs = jobs
+        self.use_cache = use_cache
 
     # -- public API ------------------------------------------------------------
 
@@ -140,7 +156,7 @@ class SCARScheduler:
         so parallel results are bit-identical to serial ones.
         """
         wall_start = time.perf_counter()
-        cache = EvalCache()
+        cache = EvalCache(enabled=self.use_cache)
         evaluator = ScheduleEvaluator(scenario, self.mcm, self.database,
                                       cache=cache)
         expected_lat = expected_layer_latencies(scenario, self.mcm,
@@ -305,7 +321,8 @@ def _worker_init(scheduler: SCARScheduler, scenario: Scenario,
     _WORKER["scenario"] = scenario
     _WORKER["expected_lat"] = expected_lat
     _WORKER["evaluator"] = ScheduleEvaluator(
-        scenario, scheduler.mcm, scheduler.database, cache=EvalCache())
+        scenario, scheduler.mcm, scheduler.database,
+        cache=EvalCache(enabled=scheduler.use_cache))
 
 
 def _worker_run(task):

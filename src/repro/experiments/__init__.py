@@ -27,6 +27,7 @@ from repro.experiments.runner import (
     ExperimentRunner,
     StrategyRun,
     aggregate_perf,
+    strategy_request,
 )
 from repro.perf import drain_perf_reports
 from repro.experiments.scale6x6 import Scale6x6Result, run_fig13
@@ -42,5 +43,5 @@ __all__ = [
     "normalize", "pareto_front", "run_arvr", "run_breakdown",
     "run_datacenter", "run_fig11", "run_fig12", "run_fig13", "run_fig2",
     "run_fig8", "run_nsplits_ablation", "run_pareto", "run_packing_ablation",
-    "run_prov_ablation",
+    "run_prov_ablation", "strategy_request",
 ]

@@ -14,23 +14,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.budget import SearchBudget
-from repro.core.scar import SCARScheduler
-from repro.core.scoring import objective_by_name
+from repro.api import ScheduleRequest, Session
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import STRATEGIES, ExperimentConfig
-from repro.mcm import templates
-from repro.workloads.scenarios import scenario
+from repro.experiments.runner import ExperimentConfig, strategy_request
 
 
-def _scheduler(strategy: str, use_case: str, config: ExperimentConfig,
-               **overrides) -> SCARScheduler:
-    mcm = templates.build(STRATEGIES[strategy][0], use_case)
-    kwargs = dict(objective=objective_by_name("edp"),
-                  nsplits=config.nsplits, budget=config.budget,
-                  jobs=config.jobs)
-    kwargs.update(overrides)
-    return SCARScheduler(mcm, **kwargs)
+def _request(strategy: str, scenario_id: int, config: ExperimentConfig,
+             **overrides) -> ScheduleRequest:
+    return strategy_request(scenario_id, strategy, "edp",
+                            config).replace(**overrides)
 
 
 @dataclass(frozen=True)
@@ -60,12 +52,11 @@ def run_nsplits_ablation(config: ExperimentConfig | None = None,
                          ) -> NsplitsResult:
     """Sweep nsplits and record the EDP-search result."""
     config = config or ExperimentConfig()
-    sc = scenario(scenario_id)
+    session = Session()
     edps = {}
     for nsplits in values:
-        scheduler = _scheduler(strategy, sc.use_case, config,
-                               nsplits=nsplits)
-        edps[nsplits] = scheduler.schedule(sc).metrics.edp
+        request = _request(strategy, scenario_id, config, nsplits=nsplits)
+        edps[nsplits] = session.submit(request).metrics.edp
     return NsplitsResult(edps=edps)
 
 
@@ -96,16 +87,16 @@ def run_prov_ablation(config: ExperimentConfig | None = None,
                       prov_limit: int = 32) -> ProvAblationResult:
     """Compare Eq. 2's uniform rule against exhaustive compositions."""
     config = config or ExperimentConfig()
+    session = Session()
     uniform: dict[tuple[str, int], float] = {}
     exhaustive: dict[tuple[str, int], float] = {}
     for scenario_id in scenario_ids:
-        sc = scenario(scenario_id)
         for strategy in strategies:
-            uniform[(strategy, scenario_id)] = _scheduler(
-                strategy, sc.use_case, config).schedule(sc).metrics.edp
-            exhaustive[(strategy, scenario_id)] = _scheduler(
-                strategy, sc.use_case, config, provisioning="exhaustive",
-                prov_limit=prov_limit).schedule(sc).metrics.edp
+            uniform[(strategy, scenario_id)] = session.submit(_request(
+                strategy, scenario_id, config)).metrics.edp
+            exhaustive[(strategy, scenario_id)] = session.submit(_request(
+                strategy, scenario_id, config, provisioning="exhaustive",
+                prov_limit=prov_limit)).metrics.edp
     return ProvAblationResult(uniform=uniform, exhaustive=exhaustive)
 
 
@@ -148,11 +139,11 @@ def run_packing_ablation(config: ExperimentConfig | None = None,
                          ) -> PackingAblationResult:
     """Algorithm 1 vs uniform layer distribution (Sec. V-E)."""
     config = config or ExperimentConfig()
-    sc = scenario(scenario_id)
-    greedy = _scheduler(strategy, sc.use_case, config,
-                        packing="greedy").schedule(sc).metrics
-    uniform = _scheduler(strategy, sc.use_case, config,
-                         packing="uniform").schedule(sc).metrics
+    session = Session()
+    greedy = session.submit(_request(strategy, scenario_id, config,
+                                     packing="greedy")).metrics
+    uniform = session.submit(_request(strategy, scenario_id, config,
+                                      packing="uniform")).metrics
     return PackingAblationResult(
         greedy_latency_s=greedy.latency_s, greedy_energy_j=greedy.energy_j,
         uniform_latency_s=uniform.latency_s,

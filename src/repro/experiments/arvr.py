@@ -9,21 +9,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ScheduleResult, Session
 from repro.experiments.reporting import format_table, normalize
 from repro.experiments.runner import (
     CORE_STRATEGIES,
     ExperimentConfig,
-    ExperimentRunner,
-    StrategyRun,
+    strategy_request,
 )
-from repro.workloads.scenarios import ARVR_IDS, scenario
+from repro.workloads.scenarios import ARVR_IDS
 
 
 @dataclass(frozen=True)
 class ArvrResult:
     """EDP-search runs for scenarios 6-10."""
 
-    runs: dict[tuple[str, int], StrategyRun]
+    runs: dict[tuple[str, int], ScheduleResult]
     scenario_ids: tuple[int, ...]
     strategies: tuple[str, ...]
 
@@ -63,11 +63,11 @@ def run_arvr(config: ExperimentConfig | None = None,
              scenario_ids: tuple[int, ...] = ARVR_IDS,
              strategies: tuple[str, ...] = CORE_STRATEGIES) -> ArvrResult:
     """Run the AR/VR suite under the EDP search (Table V / Fig. 10)."""
-    runner = ExperimentRunner(config)
-    runs: dict[tuple[str, int], StrategyRun] = {}
+    session = Session()
+    runs: dict[tuple[str, int], ScheduleResult] = {}
     for scenario_id in scenario_ids:
-        sc = scenario(scenario_id)
         for strategy in strategies:
-            runs[(strategy, scenario_id)] = runner.run(sc, strategy, "edp")
+            runs[(strategy, scenario_id)] = session.submit(
+                strategy_request(scenario_id, strategy, "edp", config))
     return ArvrResult(runs=runs, scenario_ids=scenario_ids,
                       strategies=strategies)

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ScheduleResult, Session
 from repro.experiments.reporting import format_table, normalize
 from repro.experiments.runner import (
     CORE_STRATEGIES,
     ExperimentConfig,
-    ExperimentRunner,
-    StrategyRun,
+    strategy_request,
 )
-from repro.workloads.scenarios import DATACENTER_IDS, scenario
+from repro.workloads.scenarios import DATACENTER_IDS
 
 SEARCHES_TABLE4 = ("latency", "edp")
 SEARCHES_FIG7 = ("latency", "energy", "edp")
@@ -28,7 +28,7 @@ EVAL_METRICS = ("latency", "energy", "edp")
 class DatacenterResult:
     """All (strategy, scenario, search-objective) runs for scenarios 1-5."""
 
-    runs: dict[tuple[str, int, str], StrategyRun]
+    runs: dict[tuple[str, int, str], ScheduleResult]
     scenario_ids: tuple[int, ...]
     strategies: tuple[str, ...]
 
@@ -91,13 +91,13 @@ def run_datacenter(config: ExperimentConfig | None = None,
                    strategies: tuple[str, ...] = CORE_STRATEGIES
                    ) -> DatacenterResult:
     """Run the datacenter suite (Table IV rows + Fig. 7 grid inputs)."""
-    runner = ExperimentRunner(config)
-    runs: dict[tuple[str, int, str], StrategyRun] = {}
+    session = Session()
+    runs: dict[tuple[str, int, str], ScheduleResult] = {}
     for scenario_id in scenario_ids:
-        sc = scenario(scenario_id)
         for search in searches:
             for strategy in strategies:
-                runs[(strategy, scenario_id, search)] = runner.run(
-                    sc, strategy, search)
+                runs[(strategy, scenario_id, search)] = session.submit(
+                    strategy_request(scenario_id, strategy, search,
+                                     config))
     return DatacenterResult(runs=runs, scenario_ids=scenario_ids,
                             strategies=strategies)

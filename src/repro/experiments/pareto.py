@@ -17,12 +17,12 @@ from repro.experiments.reporting import (
     format_table,
     pareto_front,
 )
+from repro.api import Session
 from repro.experiments.runner import (
     CORE_STRATEGIES,
     ExperimentConfig,
-    ExperimentRunner,
+    strategy_request,
 )
-from repro.workloads.scenarios import scenario
 
 #: Scenario sets used by the two Pareto figures.
 FIG8_SCENARIOS: tuple[int, ...] = (3, 4)
@@ -76,18 +76,16 @@ def run_pareto(scenario_ids: tuple[int, ...],
                searches: tuple[str, ...] = ("latency", "energy", "edp")
                ) -> ParetoResult:
     """Collect candidate populations across search targets (Fig. 8 / 11)."""
-    runner = ExperimentRunner(config)
+    session = Session()
     points: dict[tuple[int, str], tuple[Point, ...]] = {}
     for scenario_id in scenario_ids:
-        sc = scenario(scenario_id)
         for strategy in strategies:
             collected: list[Point] = []
             for search in searches:
-                run = runner.run(sc, strategy, search)
-                if run.scar_result is not None:
-                    collected.extend(run.scar_result.candidate_points())
-                else:
-                    collected.append((run.latency_s, run.energy_j))
+                run = session.submit(
+                    strategy_request(scenario_id, strategy, search,
+                                     config))
+                collected.extend(run.candidate_points())
             points[(scenario_id, strategy)] = tuple(collected)
     return ParetoResult(points=points, scenario_ids=scenario_ids,
                         strategies=strategies, searches=searches)

@@ -1,27 +1,31 @@
-"""Shared experiment plumbing: strategies, configs and cached runs.
+"""Shared experiment plumbing: strategies, configs and request building.
 
 A *strategy* is the paper's (MCM template x scheduler policy) pair, e.g.
 ``stand_nvd`` (Standalone scheduler on a homogeneous NVDLA 3x3) or
-``het_sides`` (SCAR on the Het-Sides 3x3).  Experiments ask the
-:class:`ExperimentRunner` for (scenario, strategy, objective) triples; the
-runner memoizes results so that e.g. Table IV and Fig. 7 share work inside
-one process.
+``het_sides`` (SCAR on the Het-Sides 3x3).  Experiment drivers translate
+(scenario, strategy, objective) triples into
+:class:`~repro.api.request.ScheduleRequest` values via
+:func:`strategy_request` and submit them to a shared
+:class:`~repro.api.session.Session`, which memoizes results so that e.g.
+Table IV and Fig. 7 share work inside one process.
+
+:class:`ExperimentRunner` is the pre-``repro.api`` entry point, kept as a
+thin deprecated shim over the session facade.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
-from repro.core.baselines import NNBatonScheduler, StandaloneScheduler
+from repro.api.request import ScheduleRequest
+from repro.api.session import Session
 from repro.core.budget import QUICK_BUDGET, SearchBudget
 from repro.core.metrics import ScheduleMetrics
-from repro.core.scar import SCARResult, SCARScheduler
+from repro.core.scar import SCARResult
 from repro.core.schedule import Schedule
-from repro.core.scoring import Objective, objective_by_name
-from repro.dataflow.database import LayerCostDatabase
 from repro.errors import ConfigError
-from repro.mcm import templates
-from repro.perf import PerfReport, merge_stats
+from repro.perf import PerfReport, aggregate_reports
 from repro.workloads.model import Scenario
 
 #: strategy name -> (MCM template, scheduler policy)
@@ -57,13 +61,16 @@ class ExperimentConfig:
     ``fast`` presets keep CI benches to seconds/minutes; ``full`` uses the
     paper's defaults (nsplits=4, generous budget).  ``jobs`` fans the SCAR
     window search out over worker processes (results are bit-identical to
-    serial runs, see :meth:`repro.core.scar.SCARScheduler.schedule`).
+    serial runs, see :meth:`repro.core.scar.SCARScheduler.schedule`);
+    ``use_eval_cache`` toggles the segment-cost memo (also bit-identical
+    either way).
     """
 
     budget: SearchBudget = field(default_factory=SearchBudget)
     nsplits: int = 4
     seg_search: str = "enumerative"
     jobs: int = 1
+    use_eval_cache: bool = True
 
     @classmethod
     def fast(cls, jobs: int = 1) -> "ExperimentConfig":
@@ -75,6 +82,33 @@ class ExperimentConfig:
 
     def with_nsplits(self, nsplits: int) -> "ExperimentConfig":
         return replace(self, nsplits=nsplits)
+
+
+def strategy_request(scenario: int | Scenario, strategy: str,
+                     objective: str = "edp",
+                     config: ExperimentConfig | None = None
+                     ) -> ScheduleRequest:
+    """The :class:`ScheduleRequest` for one paper strategy.
+
+    ``scenario`` is a Table III id (compact request) or an in-memory
+    :class:`~repro.workloads.model.Scenario` (inlined into the request
+    spec).  6x6 templates force the evolutionary SEG search, as the paper
+    pairs them.
+    """
+    config = config or ExperimentConfig()
+    if strategy not in STRATEGIES:
+        raise ConfigError(
+            f"unknown strategy {strategy!r}; known: "
+            f"{sorted(STRATEGIES)}")
+    template, policy = STRATEGIES[strategy]
+    seg_search = config.seg_search
+    if template.endswith("6x6"):
+        seg_search = "evolutionary"
+    return ScheduleRequest.for_scenario(
+        scenario, template=template, policy=policy, objective=objective,
+        nsplits=config.nsplits, budget=config.budget,
+        seg_search=seg_search, jobs=config.jobs,
+        use_eval_cache=config.use_eval_cache)
 
 
 @dataclass(frozen=True)
@@ -112,70 +146,48 @@ class StrategyRun:
 
 
 class ExperimentRunner:
-    """Memoizing front-end over the schedulers for experiment drivers.
+    """Deprecated memoizing front-end; use :class:`repro.api.Session`.
 
-    SCAR runs' :class:`~repro.perf.PerfReport` instances accumulate in
-    ``perf_reports`` so drivers (and ``--perf-stats``) can report
-    aggregate evaluation throughput and cache effectiveness.
+    Kept as a thin shim so pre-``repro.api`` callers keep working: every
+    run is translated to a :class:`ScheduleRequest` and submitted to an
+    internal session, whose memo key covers the full request (including
+    ``jobs`` and the cache flags).  SCAR perf reports accumulate in
+    ``perf_reports`` exactly as before.
     """
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
+        warnings.warn(
+            "ExperimentRunner is deprecated; submit ScheduleRequests to "
+            "repro.api.Session instead", DeprecationWarning, stacklevel=2)
         self.config = config or ExperimentConfig()
-        self._cache: dict[tuple, StrategyRun] = {}
-        self._databases: dict[tuple, LayerCostDatabase] = {}
-        self.perf_reports: list[PerfReport] = []
+        self.session = Session()
+        self._runs: dict[tuple, StrategyRun] = {}
 
-    def _database(self, clock_hz: float) -> LayerCostDatabase:
-        key = (clock_hz,)
-        if key not in self._databases:
-            self._databases[key] = LayerCostDatabase(clock_hz=clock_hz)
-        return self._databases[key]
+    @property
+    def perf_reports(self) -> list[PerfReport]:
+        return self.session.perf_reports
 
     def run(self, scenario: Scenario, strategy: str,
             objective: str = "edp") -> StrategyRun:
-        """Run (or fetch) one strategy on one scenario."""
-        if strategy not in STRATEGIES:
-            raise ConfigError(
-                f"unknown strategy {strategy!r}; known: "
-                f"{sorted(STRATEGIES)}")
+        """Run (or fetch) one strategy on one scenario.
+
+        The memo key extends the legacy tuple with ``jobs`` and the
+        cache-enable flag, so runs under different parallelism/caching
+        settings never alias (the underlying session memo additionally
+        keys on the full request).
+        """
         key = (scenario.name, strategy, objective, self.config.nsplits,
-               self.config.budget, self.config.seg_search)
-        if key in self._cache:
-            return self._cache[key]
-
-        template, policy = STRATEGIES[strategy]
-        mcm = templates.build(template, scenario.use_case)
-        database = self._database(mcm.clock_hz)
-        scar_result: SCARResult | None = None
-        if policy == "standalone":
-            outcome = StandaloneScheduler(mcm, database).schedule(scenario)
-            metrics, schedule = outcome.metrics, outcome.schedule
-        elif policy == "nn_baton":
-            outcome = NNBatonScheduler(mcm, database=database) \
-                .schedule(scenario)
-            metrics, schedule = outcome.metrics, outcome.schedule
-        else:
-            seg_search = self.config.seg_search
-            if template.endswith("6x6"):
-                seg_search = "evolutionary"
-            scheduler = SCARScheduler(
-                mcm,
-                objective=objective_by_name(objective),
-                nsplits=self.config.nsplits,
-                budget=self.config.budget,
-                database=database,
-                seg_search=seg_search,
-                jobs=self.config.jobs,
-            )
-            scar_result = scheduler.schedule(scenario)
-            metrics, schedule = scar_result.metrics, scar_result.schedule
-            if scar_result.perf is not None:
-                self.perf_reports.append(scar_result.perf)
-
+               self.config.budget, self.config.seg_search,
+               self.config.jobs, self.config.use_eval_cache)
+        if key in self._runs:
+            return self._runs[key]
+        result = self.session.submit(
+            strategy_request(scenario, strategy, objective, self.config))
         run = StrategyRun(strategy=strategy, scenario_name=scenario.name,
-                          objective=objective, metrics=metrics,
-                          schedule=schedule, scar_result=scar_result)
-        self._cache[key] = run
+                          objective=objective, metrics=result.metrics,
+                          schedule=result.schedule,
+                          scar_result=result.raw)
+        self._runs[key] = run
         return run
 
     def run_many(self, scenario: Scenario, strategies: tuple[str, ...],
@@ -192,11 +204,4 @@ class ExperimentRunner:
 def aggregate_perf(reports: list[PerfReport],
                    jobs: int | None = None) -> PerfReport:
     """Merge perf reports of many runs into one summary."""
-    return PerfReport(
-        wall_s=sum(p.wall_s for p in reports),
-        num_evaluated=sum(p.num_evaluated for p in reports),
-        num_windows=sum(p.num_windows for p in reports),
-        jobs=jobs if jobs is not None
-        else max((p.jobs for p in reports), default=1),
-        cache=merge_stats(*(p.cache for p in reports)),
-    )
+    return aggregate_reports(reports, jobs=jobs)

@@ -10,13 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ScheduleResult, Session
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import (
-    ExperimentConfig,
-    ExperimentRunner,
-    StrategyRun,
-)
-from repro.workloads.scenarios import scenario
+from repro.experiments.runner import ExperimentConfig, strategy_request
 
 STRATEGIES_6X6: tuple[str, ...] = ("simba6_shi", "simba6_nvd", "het_cross")
 
@@ -25,7 +21,7 @@ STRATEGIES_6X6: tuple[str, ...] = ("simba6_shi", "simba6_nvd", "het_cross")
 class Scale6x6Result:
     """EDP-search runs at each nsplits setting."""
 
-    runs: dict[tuple[str, int], StrategyRun]
+    runs: dict[tuple[str, int], ScheduleResult]
     nsplit_values: tuple[int, ...]
     scenario_id: int
 
@@ -64,11 +60,11 @@ def run_fig13(config: ExperimentConfig | None = None,
               nsplit_values: tuple[int, ...] = (2, 3)) -> Scale6x6Result:
     """Run the 6x6 evolutionary-search experiment (Fig. 13)."""
     base = config or ExperimentConfig()
-    sc = scenario(scenario_id)
-    runs: dict[tuple[str, int], StrategyRun] = {}
+    session = Session()
+    runs: dict[tuple[str, int], ScheduleResult] = {}
     for nsplits in nsplit_values:
-        runner = ExperimentRunner(base.with_nsplits(nsplits))
         for strategy in STRATEGIES_6X6:
-            runs[(strategy, nsplits)] = runner.run(sc, strategy, "edp")
+            runs[(strategy, nsplits)] = session.submit(strategy_request(
+                scenario_id, strategy, "edp", base.with_nsplits(nsplits)))
     return Scale6x6Result(runs=runs, nsplit_values=nsplit_values,
                           scenario_id=scenario_id)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import Session
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.runner import ExperimentConfig, strategy_request
 from repro.workloads.scenarios import scenario
 
 
@@ -65,9 +66,10 @@ def run_breakdown(scenario_id: int = 4, strategy: str = "het_sides",
                   config: ExperimentConfig | None = None,
                   objective: str = "edp") -> BreakdownResult:
     """Run the EDP search and extract the Fig. 9 / Table VI breakdown."""
-    runner = ExperimentRunner(config)
+    session = Session()
     sc = scenario(scenario_id)
-    run = runner.run(sc, strategy, objective)
+    run = session.submit(
+        strategy_request(scenario_id, strategy, objective, config))
 
     model_names = sc.model_names
     num_windows = run.metrics.windows[-1].index + 1

@@ -10,13 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ScheduleResult, Session
 from repro.experiments.reporting import format_table, normalize
-from repro.experiments.runner import (
-    ExperimentConfig,
-    ExperimentRunner,
-    StrategyRun,
-)
-from repro.workloads.scenarios import scenario
+from repro.experiments.runner import ExperimentConfig, strategy_request
 
 TRIANGULAR_STRATEGIES: tuple[str, ...] = ("simba_t_shi", "simba_t_nvd",
                                           "het_t")
@@ -27,7 +23,7 @@ FIG12_SCENARIOS: tuple[int, ...] = (3, 4)
 class TopologyResult:
     """EDP-search results on triangular topologies, plus the baseline."""
 
-    runs: dict[tuple[str, int], StrategyRun]
+    runs: dict[tuple[str, int], ScheduleResult]
     scenario_ids: tuple[int, ...]
     strategies: tuple[str, ...]
 
@@ -53,11 +49,11 @@ def run_fig12(config: ExperimentConfig | None = None,
               scenario_ids: tuple[int, ...] = FIG12_SCENARIOS
               ) -> TopologyResult:
     """Run the triangular-NoP EDP search (Fig. 12)."""
-    runner = ExperimentRunner(config)
-    runs: dict[tuple[str, int], StrategyRun] = {}
+    session = Session()
+    runs: dict[tuple[str, int], ScheduleResult] = {}
     for scenario_id in scenario_ids:
-        sc = scenario(scenario_id)
         for strategy in (*TRIANGULAR_STRATEGIES, "stand_nvd"):
-            runs[(strategy, scenario_id)] = runner.run(sc, strategy, "edp")
+            runs[(strategy, scenario_id)] = session.submit(
+                strategy_request(scenario_id, strategy, "edp", config))
     return TopologyResult(runs=runs, scenario_ids=scenario_ids,
                           strategies=TRIANGULAR_STRATEGIES)

@@ -117,6 +117,22 @@ class PerfReport:
         }
 
 
+def aggregate_reports(reports: list[PerfReport],
+                      jobs: int | None = None) -> PerfReport:
+    """Merge perf reports of many runs into one summary.
+
+    ``jobs`` defaults to the largest worker count any report used.
+    """
+    return PerfReport(
+        wall_s=sum(p.wall_s for p in reports),
+        num_evaluated=sum(p.num_evaluated for p in reports),
+        num_windows=sum(p.num_windows for p in reports),
+        jobs=jobs if jobs is not None
+        else max((p.jobs for p in reports), default=1),
+        cache=merge_stats(*(p.cache for p in reports)),
+    )
+
+
 #: Process-wide PerfReport log.  Every ``SCARScheduler.schedule`` call
 #: logs its report here, so front-ends (``scar ... --perf-stats``) can
 #: aggregate runs made by experiment drivers that construct their

@@ -1,0 +1,273 @@
+"""Session facade, scheduler registry and legacy-parity tests.
+
+The parity class re-implements the pre-``repro.api`` ExperimentRunner
+dispatch (direct scheduler construction) and checks that
+``Session.submit`` reproduces it bit-for-bit for every core strategy --
+the acceptance gate of the API redesign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    PolicyOutcome,
+    ScheduleRequest,
+    SchedulerRegistry,
+    Session,
+)
+from repro.core.baselines import NNBatonScheduler, StandaloneScheduler
+from repro.core.scar import SCARScheduler
+from repro.core.scoring import objective_by_name
+from repro.dataflow.database import LayerCostDatabase
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    CORE_STRATEGIES,
+    STRATEGIES,
+    ExperimentConfig,
+    ExperimentRunner,
+    strategy_request,
+)
+from repro.mcm import templates
+from repro.workloads.scenarios import scenario
+
+
+def _legacy_run(sc, strategy, objective, config, databases):
+    """The pre-redesign ExperimentRunner.run dispatch, verbatim."""
+    template, policy = STRATEGIES[strategy]
+    mcm = templates.build(template, sc.use_case)
+    if mcm.clock_hz not in databases:
+        databases[mcm.clock_hz] = LayerCostDatabase(clock_hz=mcm.clock_hz)
+    database = databases[mcm.clock_hz]
+    if policy == "standalone":
+        outcome = StandaloneScheduler(mcm, database).schedule(sc)
+        return outcome.metrics, outcome.schedule
+    if policy == "nn_baton":
+        outcome = NNBatonScheduler(mcm, database=database).schedule(sc)
+        return outcome.metrics, outcome.schedule
+    seg_search = config.seg_search
+    if template.endswith("6x6"):
+        seg_search = "evolutionary"
+    scheduler = SCARScheduler(
+        mcm, objective=objective_by_name(objective),
+        nsplits=config.nsplits, budget=config.budget, database=database,
+        seg_search=seg_search, jobs=config.jobs)
+    result = scheduler.schedule(sc)
+    return result.metrics, result.schedule
+
+
+class TestLegacyParity:
+    """Session.submit == the pre-redesign scheduler path, bit for bit."""
+
+    def test_core_strategies_bit_identical(self, tiny_scenario):
+        config = ExperimentConfig.fast()
+        session = Session()
+        databases: dict[float, LayerCostDatabase] = {}
+        for strategy in CORE_STRATEGIES:
+            legacy_metrics, legacy_schedule = _legacy_run(
+                tiny_scenario, strategy, "edp", config, databases)
+            result = session.submit(strategy_request(
+                tiny_scenario, strategy, "edp", config))
+            assert result.metrics == legacy_metrics, strategy
+            assert result.schedule == legacy_schedule, strategy
+
+    def test_fig8_workload_parity(self):
+        """Scenario 3 (the quick Fig. 8 workload) on the quick budget."""
+        config = ExperimentConfig.fast()
+        session = Session()
+        databases: dict[float, LayerCostDatabase] = {}
+        for strategy in ("stand_nvd", "het_sides"):
+            legacy_metrics, legacy_schedule = _legacy_run(
+                scenario(3), strategy, "edp", config, databases)
+            result = session.submit(strategy_request(
+                3, strategy, "edp", config))
+            assert result.metrics == legacy_metrics, strategy
+            assert result.schedule == legacy_schedule, strategy
+
+    def test_inline_spec_matches_table3_reference(self):
+        """A request built from the Scenario object == the id form."""
+        config = ExperimentConfig.fast()
+        session = Session()
+        by_id = session.submit(strategy_request(1, "het_sides", "edp",
+                                                config))
+        by_spec = session.submit(strategy_request(scenario(1), "het_sides",
+                                                  "edp", config))
+        assert by_spec.metrics == by_id.metrics
+        assert by_spec.schedule == by_id.schedule
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        from repro.api import DEFAULT_REGISTRY
+
+        assert set(("standalone", "nn_baton", "scar", "evolutionary")) \
+            <= set(DEFAULT_REGISTRY.names())
+
+    def test_strategies_resolve_to_registered_policies(self):
+        from repro.api import DEFAULT_REGISTRY
+
+        assert {policy for _, policy in STRATEGIES.values()} \
+            <= set(DEFAULT_REGISTRY.names())
+
+    def test_unknown_policy_rejected(self, tiny_scenario):
+        request = ScheduleRequest.for_scenario(tiny_scenario,
+                                               policy="magic")
+        with pytest.raises(ConfigError, match="unknown policy"):
+            Session().submit(request)
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchedulerRegistry()
+        registry.register("p", lambda ctx: None)
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register("p", lambda ctx: None)
+
+    def test_bad_name_rejected(self):
+        registry = SchedulerRegistry()
+        with pytest.raises(ConfigError):
+            registry.register("")
+
+    def test_custom_policy_plugin(self, tiny_scenario):
+        """A fresh registry drives a session without touching built-ins."""
+        registry = SchedulerRegistry()
+
+        @registry.register("reversed_standalone")
+        def _policy(ctx):
+            outcome = StandaloneScheduler(ctx.mcm, ctx.database) \
+                .schedule(ctx.scenario)
+            return PolicyOutcome(schedule=outcome.schedule,
+                                 metrics=outcome.metrics)
+
+        assert "reversed_standalone" in registry
+        session = Session(registry)
+        result = session.submit(ScheduleRequest.for_scenario(
+            tiny_scenario, template="simba_nvd_3x3",
+            policy="reversed_standalone"))
+        assert result.metrics.latency_s > 0
+        with pytest.raises(ConfigError):
+            session.submit(ScheduleRequest.for_scenario(tiny_scenario,
+                                                        policy="scar"))
+
+
+class TestSessionMemo:
+    @pytest.fixture
+    def request_(self, tiny_scenario, small_budget):
+        return ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="scar",
+            budget=small_budget, nsplits=1)
+
+    def test_memoized_resubmit_returns_same_object(self, request_):
+        session = Session()
+        assert session.submit(request_) is session.submit(request_)
+
+    def test_jobs_and_cache_flags_never_alias(self, request_):
+        """Distinct jobs / cache-flag settings get distinct memo slots."""
+        keys = {request_.cache_key(),
+                request_.replace(jobs=2).cache_key(),
+                request_.replace(use_eval_cache=False).cache_key(),
+                request_.replace(jobs=2,
+                                 use_eval_cache=False).cache_key()}
+        assert len(keys) == 4
+
+    def test_memoize_false_bypasses_the_memo(self, request_):
+        session = Session()
+        request = request_.replace(memoize=False)
+        first = session.submit(request)
+        second = session.submit(request)
+        assert first is not second
+        assert first.metrics == second.metrics
+
+    def test_eval_cache_off_is_bit_identical(self, request_):
+        session = Session()
+        cached = session.submit(request_)
+        uncached = session.submit(request_.replace(use_eval_cache=False))
+        assert cached is not uncached
+        assert cached.metrics == uncached.metrics
+        assert cached.schedule == uncached.schedule
+        # the disabled cache recorded misses only
+        assert uncached.perf.overall_hit_rate == 0.0
+        assert cached.perf.overall_hit_rate > 0.0
+
+    def test_perf_reports_accumulate(self, request_):
+        session = Session()
+        session.submit(request_)
+        session.submit(request_.replace(objective="latency"))
+        assert len(session.perf_reports) == 2
+        summary = session.perf_summary()
+        assert summary.num_evaluated == sum(
+            p.num_evaluated for p in session.perf_reports)
+
+
+class TestSubmitMany:
+    @pytest.fixture
+    def requests(self, tiny_scenario, small_budget):
+        base = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="scar",
+            budget=small_budget, nsplits=1)
+        return [base,
+                base.replace(objective="latency"),
+                base.replace(template="simba_nvd_3x3",
+                             policy="standalone")]
+
+    def test_serial_batch_matches_submits(self, requests):
+        serial = [Session().submit(r) for r in requests]
+        batch = Session().submit_many(requests)
+        assert [r.metrics for r in batch] == [r.metrics for r in serial]
+        assert [r.schedule for r in batch] == [r.schedule for r in serial]
+
+    def test_parallel_batch_is_bit_identical(self, requests):
+        serial = Session().submit_many(requests)
+        parallel = Session().submit_many(requests, jobs=2)
+        assert [r.metrics for r in parallel] == \
+            [r.metrics for r in serial]
+        assert [r.schedule for r in parallel] == \
+            [r.schedule for r in serial]
+
+    def test_parallel_batch_fills_memo_and_perf(self, requests):
+        session = Session()
+        results = session.submit_many(requests, jobs=2)
+        # SCAR requests contributed perf reports, in request order
+        assert len(session.perf_reports) == 2
+        # and a resubmit is served from the memo
+        assert session.submit(requests[0]) is results[0]
+
+    def test_parallel_batch_dedupes_memoizable_duplicates(self, requests):
+        session = Session()
+        results = session.submit_many([requests[0], requests[0]], jobs=2)
+        assert results[0] is results[1]
+        assert len(session.perf_reports) == 1  # ran once, like serial
+
+    def test_parallel_results_drop_raw_population(self, requests):
+        serial = Session().submit_many([requests[0]])
+        parallel = Session().submit_many(list(requests), jobs=2)
+        assert serial[0].raw is not None
+        assert parallel[0].raw is None  # stays in the worker
+        # ...without affecting the deterministic payload
+        assert parallel[0].metrics == serial[0].metrics
+        assert parallel[0].schedule == serial[0].schedule
+        assert parallel[0].window_candidates == \
+            serial[0].window_candidates
+        assert parallel[0].num_evaluated == serial[0].num_evaluated
+
+    def test_bad_jobs_rejected(self, requests):
+        with pytest.raises(ValueError):
+            Session().submit_many(requests, jobs=0)
+
+
+class TestLegacyShim:
+    def test_runner_warns_but_works(self, tiny_scenario):
+        with pytest.warns(DeprecationWarning, match="Session"):
+            runner = ExperimentRunner(ExperimentConfig.fast())
+        run = runner.run(tiny_scenario, "het_sides")
+        result = Session().submit(strategy_request(
+            tiny_scenario, "het_sides", "edp", ExperimentConfig.fast()))
+        assert run.metrics == result.metrics
+        assert run.schedule == result.schedule
+        assert run.scar_result is not None
+        assert runner.perf_reports
+        assert runner.perf_summary().num_evaluated > 0
+
+    def test_runner_memo_identity_across_calls(self, tiny_scenario):
+        with pytest.warns(DeprecationWarning):
+            runner = ExperimentRunner(ExperimentConfig.fast())
+        assert runner.run(tiny_scenario, "stand_nvd") \
+            is runner.run(tiny_scenario, "stand_nvd")

@@ -1,0 +1,236 @@
+"""JSON wire-format round-trip tests for the repro.api value types.
+
+Property-style: seeded-random :class:`ScheduleRequest` instances must
+survive ``from_dict(to_dict(x)) == x`` exactly (same for the JSON string
+form), and malformed documents must fail loudly with ``ConfigError``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api import (
+    CandidatePoint,
+    ScheduleRequest,
+    ScheduleResult,
+    metrics_from_dict,
+    metrics_to_dict,
+    perf_from_dict,
+    perf_to_dict,
+    scenario_spec,
+)
+from repro.core.budget import QUICK_BUDGET, SearchBudget
+from repro.errors import ConfigError
+from repro.perf import CacheStats, PerfReport
+
+
+def _random_request(rng: random.Random) -> ScheduleRequest:
+    """One random-but-valid request (all fields exercised over a run)."""
+    return ScheduleRequest(
+        scenario_id=rng.randint(1, 10),
+        template=rng.choice(("het_sides_3x3", "simba_nvd_3x3",
+                             "het_cross_6x6")),
+        policy=rng.choice(("standalone", "nn_baton", "scar",
+                           "evolutionary")),
+        objective=rng.choice(("latency", "energy", "edp")),
+        latency_bound_s=rng.choice((None, rng.uniform(1e-4, 1.0))),
+        nsplits=rng.randint(0, 5),
+        budget=SearchBudget(
+            top_k_segmentations=rng.randint(1, 4),
+            max_segment_candidates=rng.randint(1, 128),
+            max_root_combos=rng.randint(1, 24),
+            max_paths_per_model=rng.randint(1, 12),
+            max_candidates_per_window=rng.randint(1, 400),
+            seed=rng.randint(0, 99),
+        ),
+        packing=rng.choice(("greedy", "uniform")),
+        provisioning=rng.choice(("uniform", "exhaustive")),
+        prov_limit=rng.randint(1, 64),
+        max_nodes_per_model=rng.choice((None, rng.randint(1, 9))),
+        seg_search=rng.choice(("enumerative", "evolutionary")),
+        jobs=rng.randint(1, 4),
+        use_eval_cache=rng.choice((True, False)),
+        memoize=rng.choice((True, False)),
+    )
+
+
+class TestRequestRoundTrip:
+    def test_default_request(self):
+        request = ScheduleRequest(scenario_id=4)
+        assert ScheduleRequest.from_dict(request.to_dict()) == request
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_requests(self, seed):
+        request = _random_request(random.Random(seed))
+        assert ScheduleRequest.from_dict(request.to_dict()) == request
+        assert ScheduleRequest.from_json(request.to_json()) == request
+
+    def test_round_trip_through_json_text(self):
+        """The wire form survives an actual serialize/parse cycle."""
+        request = _random_request(random.Random(1234))
+        text = json.dumps(request.to_dict())
+        assert ScheduleRequest.from_dict(json.loads(text)) == request
+
+    def test_inline_spec_round_trip(self, tiny_scenario):
+        request = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", budget=QUICK_BUDGET)
+        clone = ScheduleRequest.from_json(request.to_json())
+        assert clone == request
+        rebuilt = clone.resolve_scenario()
+        assert rebuilt == tiny_scenario
+
+    def test_table3_spec_stays_compact(self):
+        """Zoo-resolvable models are referenced by name, not inlined."""
+        from repro.workloads.scenarios import scenario
+
+        spec = scenario_spec(scenario(1))
+        assert all("layers" not in entry for entry in spec["models"])
+        request = ScheduleRequest(scenario_spec=spec)
+        assert request.resolve_scenario() == scenario(1)
+
+    def test_custom_model_spec_inlines_layers(self, tiny_scenario):
+        spec = scenario_spec(tiny_scenario)
+        assert all("layers" in entry for entry in spec["models"])
+
+    def test_cache_key_is_canonical_and_covers_flags(self):
+        request = ScheduleRequest(scenario_id=4)
+        assert request.cache_key() == \
+            ScheduleRequest.from_dict(request.to_dict()).cache_key()
+        assert request.cache_key() != \
+            request.replace(jobs=2).cache_key()
+        assert request.cache_key() != \
+            request.replace(use_eval_cache=False).cache_key()
+        assert request.cache_key() != \
+            request.replace(memoize=False).cache_key()
+
+    def test_replace(self):
+        request = ScheduleRequest(scenario_id=4)
+        assert request.replace(objective="latency").objective == "latency"
+
+    def test_requests_are_hashable(self, tiny_scenario):
+        """Inline-spec requests (dict field) still hash as value objects."""
+        by_id = ScheduleRequest(scenario_id=4)
+        by_spec = ScheduleRequest.for_scenario(tiny_scenario)
+        assert len({by_id, ScheduleRequest(scenario_id=4), by_spec,
+                    ScheduleRequest.for_scenario(tiny_scenario)}) == 2
+        assert hash(by_spec) == hash(
+            ScheduleRequest.from_dict(by_spec.to_dict()))
+
+
+class TestRequestValidation:
+    def test_scenario_ref_is_exclusive(self):
+        with pytest.raises(ConfigError):
+            ScheduleRequest()
+        with pytest.raises(ConfigError):
+            ScheduleRequest(scenario_id=1,
+                            scenario_spec={"name": "x", "models": []})
+
+    def test_bad_jobs(self):
+        with pytest.raises(ConfigError):
+            ScheduleRequest(scenario_id=1, jobs=0)
+
+    def test_bad_objective(self):
+        with pytest.raises(Exception):
+            ScheduleRequest(scenario_id=1, objective="power")
+
+    def test_malformed_document(self):
+        with pytest.raises(ConfigError):
+            ScheduleRequest.from_dict({"kind": "schedule_request",
+                                       "version": 1})
+
+    def test_wrong_kind(self):
+        request = ScheduleRequest(scenario_id=1)
+        data = request.to_dict()
+        data["kind"] = "something_else"
+        with pytest.raises(ConfigError):
+            ScheduleRequest.from_dict(data)
+
+    def test_unsupported_version(self):
+        data = ScheduleRequest(scenario_id=1).to_dict()
+        data["version"] = 999
+        with pytest.raises(ConfigError):
+            ScheduleRequest.from_dict(data)
+
+    def test_missing_envelope_rejected(self):
+        """Documents without kind/version fail the gate, not field lookup."""
+        data = ScheduleRequest(scenario_id=1).to_dict()
+        for dropped in ("kind", "version"):
+            broken = dict(data)
+            del broken[dropped]
+            with pytest.raises(ConfigError,
+                               match="kind|version"):
+                ScheduleRequest.from_dict(broken)
+
+    def test_bad_json_text(self):
+        with pytest.raises(ConfigError):
+            ScheduleRequest.from_json("{not json")
+
+
+class TestAuxRoundTrips:
+    def test_candidate_point(self):
+        point = CandidatePoint(score=1.5e-8, latency_s=0.01,
+                               energy_j=0.002)
+        assert CandidatePoint.from_dict(point.to_dict()) == point
+
+    def test_perf_report(self):
+        perf = PerfReport(wall_s=1.25, num_evaluated=100, num_windows=3,
+                          jobs=2,
+                          cache={"window": CacheStats(hits=5, misses=7)})
+        assert perf_from_dict(perf_to_dict(perf)) == perf
+
+    def test_metrics_round_trip_from_real_run(self, tiny_scenario,
+                                              nvd_mcm):
+        from repro.core import ScheduleEvaluator, StandaloneScheduler
+
+        outcome = StandaloneScheduler(nvd_mcm).schedule(tiny_scenario)
+        metrics = outcome.metrics
+        clone = metrics_from_dict(metrics_to_dict(metrics))
+        assert clone == metrics
+        assert clone.edp == metrics.edp
+        # and again through real JSON text
+        assert metrics_from_dict(
+            json.loads(json.dumps(metrics_to_dict(metrics)))) == metrics
+
+
+class TestResultRoundTrip:
+    @pytest.fixture
+    def result(self, tiny_scenario):
+        from repro.api import Session
+
+        request = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="scar",
+            budget=QUICK_BUDGET, nsplits=1)
+        return Session().submit(request)
+
+    def test_dict_round_trip(self, result):
+        clone = ScheduleResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_json_round_trip(self, result):
+        clone = ScheduleResult.from_json(result.to_json())
+        assert clone == result
+        assert clone.metrics == result.metrics
+        assert clone.schedule == result.schedule
+        assert clone.window_candidates == result.window_candidates
+        assert clone.perf == result.perf
+
+    def test_raw_population_stays_in_process(self, result):
+        assert result.raw is not None
+        clone = ScheduleResult.from_dict(result.to_dict())
+        assert clone.raw is None  # raw never crosses the wire
+        assert clone == result    # ... and does not affect equality
+
+    def test_candidate_points_survive_the_wire(self, result):
+        clone = ScheduleResult.from_json(result.to_json())
+        assert clone.candidate_points() == result.candidate_points()
+        assert clone.candidate_points() == \
+            result.raw.candidate_points()
+
+    def test_value_lookup(self, result):
+        assert result.value("edp") == pytest.approx(
+            result.value("latency") * result.value("energy"))
+        with pytest.raises(ConfigError):
+            result.value("power")

@@ -1,0 +1,29 @@
+"""Smoke tests for the runnable examples (wire-format drift gate).
+
+``examples/api_demo.py`` asserts the JSON round-trip internally, so
+running it under the installed source tree fails loudly if the wire
+format drifts from what :mod:`repro.api` emits.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_demo_runs_and_round_trips():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "api_demo.py")],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stderr
+    assert "wire round-trip OK" in proc.stdout
+    assert "scar" in proc.stdout and "standalone" in proc.stdout
+    assert "evaluations" in proc.stdout  # perf summary rendered

@@ -1,8 +1,11 @@
 """Tests for the experiment runner and the CLI."""
 
+import argparse
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _positive_int, build_parser, main
 from repro.errors import ConfigError
 from repro.experiments.runner import (
     CORE_STRATEGIES,
@@ -14,7 +17,8 @@ from repro.experiments.runner import (
 
 @pytest.fixture
 def runner():
-    return ExperimentRunner(ExperimentConfig.fast())
+    with pytest.warns(DeprecationWarning):
+        return ExperimentRunner(ExperimentConfig.fast())
 
 
 class TestRunner:
@@ -88,3 +92,58 @@ class TestCLI:
         assert out_file.exists()
         out = capsys.readouterr().out
         assert "EDP" in out and "window" in out
+        # --output writes the full wire document
+        doc = json.loads(out_file.read_text())
+        assert doc["kind"] == "schedule_result"
+        assert doc["schedule"]["windows"]
+
+    def test_schedule_json_format(self, capsys):
+        """`schedule --format json` emits the repro.api wire document."""
+        from repro.api import ScheduleResult
+
+        code = main(["schedule", "--scenario", "1", "--fast",
+                     "--format", "json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        result = ScheduleResult.from_json(out)
+        assert result.request.scenario_id == 1
+        assert result.request.policy == "scar"
+        assert result.metrics.latency_s > 0
+        assert result.num_evaluated > 0
+        # the document round-trips unchanged
+        assert ScheduleResult.from_dict(json.loads(out)) == result
+
+    def test_schedule_policy_option(self, capsys):
+        code = main(["schedule", "--scenario", "1", "--fast",
+                     "--policy", "standalone", "--format", "json"])
+        assert code == 0
+        from repro.api import ScheduleResult
+
+        result = ScheduleResult.from_json(capsys.readouterr().out)
+        assert result.request.policy == "standalone"
+        assert result.window_candidates == ()
+
+
+class TestPositiveInt:
+    @pytest.mark.parametrize("value,parsed", [("1", 1), ("8", 8)])
+    def test_accepts_positive(self, value, parsed):
+        assert _positive_int(value) == parsed
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-32"])
+    def test_rejects_zero_and_negative(self, value):
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="positive integer"):
+            _positive_int(value)
+
+    @pytest.mark.parametrize("value", ["", "abc", "1.5", "2x"])
+    def test_rejects_non_integers(self, value):
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="positive integer"):
+            _positive_int(value)
+
+    def test_argparse_error_message_is_clear(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["schedule", "--jobs", "0"])
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "positive integer" in err
