@@ -44,6 +44,17 @@ from repro.experiments import ExperimentConfig
 BENCH_DIR = Path(__file__).resolve().parent
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The fast tier-1 loop can then skip the timing rewrites with
+    ``pytest -m "not bench"`` (marker declared in pytest.ini).
+    """
+    for item in items:
+        if str(item.fspath).startswith(str(BENCH_DIR)):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
     if os.environ.get("REPRO_FULL"):

@@ -1,0 +1,91 @@
+"""Bench: job-service throughput (jobs/sec, workers=1 vs pooled).
+
+Pushes the quick Fig. 8 workload (scenarios 3 and 4, EDP + latency
+objectives) through :class:`~repro.service.SchedulerService` twice --
+one worker, then a pool -- and
+
+* asserts pooled results are **bit-identical** to the single-worker run
+  (the service determinism contract),
+* records jobs/sec plus the per-job queue/run timing summaries into
+  ``benchmarks/BENCH_service.json``.
+
+The pool is not required to be faster (job-level threading only overlaps
+where requests fan work to processes); the artifact tracks the
+trajectory, the bit-identity assertion is the gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ScheduleRequest
+from repro.service import SchedulerService
+
+POOL_WORKERS = 4
+
+FIG8_SCENARIOS = (3, 4)
+OBJECTIVES = ("edp", "latency")
+
+
+def _requests(config) -> list[ScheduleRequest]:
+    return [
+        ScheduleRequest(scenario_id=scenario_id,
+                        template="het_sides_3x3", policy="scar",
+                        objective=objective, nsplits=config.nsplits,
+                        budget=config.budget)
+        for scenario_id in FIG8_SCENARIOS
+        for objective in OBJECTIVES
+    ]
+
+
+def _run(config, workers: int):
+    with SchedulerService(workers=workers) as service:
+        started = time.monotonic()
+        handles = service.submit_many(_requests(config))
+        results = [handle.result(timeout=3600) for handle in handles]
+        wall_s = time.monotonic() - started
+        summary = service.perf_summary()
+    return results, wall_s, summary
+
+
+def test_service_throughput(benchmark, config, bench_artifact):
+    serial = {}
+
+    def run_serial():
+        serial["run"] = _run(config, workers=1)
+        return serial
+
+    benchmark.pedantic(run_serial, rounds=1, iterations=1)
+    serial_results, serial_wall, serial_summary = serial["run"]
+
+    pooled_results, pooled_wall, pooled_summary = _run(
+        config, workers=POOL_WORKERS)
+
+    # The pool must not perturb a single bit of any job's payload.
+    for one, many in zip(serial_results, pooled_results):
+        assert many.same_payload(one)
+
+    num_jobs = len(serial_results)
+    data = {
+        "num_jobs": num_jobs,
+        "serial": {
+            "workers": 1,
+            "wall_s": serial_wall,
+            "jobs_per_s": num_jobs / serial_wall,
+            "queue": serial_summary["queue"],
+            "run": serial_summary["run"],
+        },
+        "pooled": {
+            "workers": POOL_WORKERS,
+            "wall_s": pooled_wall,
+            "jobs_per_s": num_jobs / pooled_wall,
+            "queue": pooled_summary["queue"],
+            "run": pooled_summary["run"],
+        },
+        "bit_identical": True,
+    }
+    path = bench_artifact("service", data)
+    print(f"\n{num_jobs} jobs: serial {data['serial']['jobs_per_s']:.2f} "
+          f"jobs/s, pooled({POOL_WORKERS}) "
+          f"{data['pooled']['jobs_per_s']:.2f} jobs/s")
+    print(f"wrote {path}")

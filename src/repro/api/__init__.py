@@ -25,14 +25,16 @@ from repro.api.registry import (
     register_policy,
 )
 from repro.api.request import (
-    WIRE_VERSION,
     ScheduleRequest,
     ScheduleResult,
     scenario_spec,
 )
 from repro.api.session import Session
 from repro.api.wire import (
+    WIRE_VERSION,
     CandidatePoint,
+    ErrorDocument,
+    is_error_document,
     metrics_from_dict,
     metrics_to_dict,
     perf_from_dict,
@@ -40,8 +42,9 @@ from repro.api.wire import (
 )
 
 __all__ = [
-    "CandidatePoint", "DEFAULT_REGISTRY", "PolicyContext", "PolicyOutcome",
-    "ScheduleRequest", "ScheduleResult", "SchedulerRegistry", "Session",
-    "WIRE_VERSION", "metrics_from_dict", "metrics_to_dict",
-    "perf_from_dict", "perf_to_dict", "register_policy", "scenario_spec",
+    "CandidatePoint", "DEFAULT_REGISTRY", "ErrorDocument", "PolicyContext",
+    "PolicyOutcome", "ScheduleRequest", "ScheduleResult",
+    "SchedulerRegistry", "Session", "WIRE_VERSION", "is_error_document",
+    "metrics_from_dict", "metrics_to_dict", "perf_from_dict",
+    "perf_to_dict", "register_policy", "scenario_spec",
 ]

@@ -21,7 +21,10 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 from repro.api.wire import (
+    WIRE_VERSION,
     CandidatePoint,
+    check_envelope,
+    loads_document,
     metrics_from_dict,
     metrics_to_dict,
     perf_from_dict,
@@ -43,9 +46,6 @@ from repro.perf import PerfReport
 from repro.workloads import zoo
 from repro.workloads.model import Scenario
 from repro.workloads.scenarios import scenario as table3_scenario
-
-#: Wire-format version; bumped on incompatible schema changes.
-WIRE_VERSION = 1
 
 _REQUEST_KIND = "schedule_request"
 _RESULT_KIND = "schedule_result"
@@ -181,7 +181,7 @@ class ScheduleRequest:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScheduleRequest":
         """Rebuild a request from its wire form."""
-        _check_envelope(data, _REQUEST_KIND)
+        check_envelope(data, _REQUEST_KIND)
         try:
             return cls(
                 scenario_id=data["scenario_id"],
@@ -209,7 +209,7 @@ class ScheduleRequest:
 
     @classmethod
     def from_json(cls, text: str) -> "ScheduleRequest":
-        return cls.from_dict(_loads(text, "schedule request"))
+        return cls.from_dict(loads_document(text, "schedule request"))
 
     def cache_key(self) -> str:
         """Canonical identity for session memoization.
@@ -268,6 +268,20 @@ class ScheduleResult:
             return self.edp
         raise ConfigError(f"unknown metric {metric!r}")
 
+    def same_payload(self, other: "ScheduleResult") -> bool:
+        """Equality on the deterministic payload.
+
+        The service determinism contract: request, schedule, metrics,
+        candidate summaries and evaluation count -- excluding ``raw``
+        (never crosses the wire) and ``perf`` (wall times vary run to
+        run).  This is THE definition parity tests and benches gate on.
+        """
+        return (self.request == other.request
+                and self.schedule == other.schedule
+                and self.metrics == other.metrics
+                and self.window_candidates == other.window_candidates
+                and self.num_evaluated == other.num_evaluated)
+
     def candidate_points(self) -> list[tuple[float, float]]:
         """(latency_s, energy_j) of assembled candidate schedules.
 
@@ -304,7 +318,7 @@ class ScheduleResult:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScheduleResult":
         """Rebuild a result from its wire form (``raw`` does not survive)."""
-        _check_envelope(data, _RESULT_KIND)
+        check_envelope(data, _RESULT_KIND)
         try:
             return cls(
                 request=ScheduleRequest.from_dict(data["request"]),
@@ -327,24 +341,6 @@ class ScheduleResult:
 
     @classmethod
     def from_json(cls, text: str) -> "ScheduleResult":
-        return cls.from_dict(_loads(text, "schedule result"))
+        return cls.from_dict(loads_document(text, "schedule result"))
 
 
-def _check_envelope(data: dict[str, Any], kind: str) -> None:
-    if not isinstance(data, dict):
-        raise ConfigError(f"expected a {kind} document, got "
-                          f"{type(data).__name__}")
-    got_kind = data.get("kind")
-    if got_kind != kind:
-        raise ConfigError(f"expected kind {kind!r}, got {got_kind!r}")
-    version = data.get("version")
-    if version != WIRE_VERSION:
-        raise ConfigError(f"unsupported wire version {version!r} "
-                          f"(supported: {WIRE_VERSION})")
-
-
-def _loads(text: str, what: str) -> dict[str, Any]:
-    try:
-        return json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ConfigError(f"cannot parse {what}: {exc}") from exc

@@ -16,13 +16,18 @@ and exposes two calls:
 
 Results are memoized on :meth:`ScheduleRequest.cache_key`, which covers
 every request field including ``jobs`` and the cache flags, so runs with
-different parallelism or caching settings never alias.
+different parallelism or caching settings never alias.  The memo is
+unbounded by default; long-running front-ends (the job service) pass
+``max_memo=N`` to cap it with LRU eviction -- evicted entries simply
+recompute bit-identically on the next submit.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
@@ -35,9 +40,19 @@ from repro.api.registry import (
 from repro.api.request import ScheduleRequest, ScheduleResult
 from repro.api.wire import CandidatePoint
 from repro.dataflow.database import LayerCostDatabase
+from repro.errors import ConfigError
 from repro.mcm import templates
 from repro.perf import PerfReport, aggregate_reports
 from repro.workloads.model import Scenario
+
+#: Cap on the accumulated perf log, mirroring ``repro.perf.GLOBAL_PERF``:
+#: a long-running service session must not grow memory per run.
+_PERF_REPORTS_CAP = 4096
+
+#: LRU cap on resolved scenarios: inline ``scenario_spec`` requests are
+#: each a distinct key, so the cache must not grow per unique spec.
+#: Evicted scenarios re-resolve deterministically on the next submit.
+_SCENARIO_CACHE_CAP = 1024
 
 
 class Session:
@@ -46,23 +61,39 @@ class Session:
     One session per process (or per logical tenant) is the intended
     shape: experiments, the CLI and batch drivers all share databases and
     results through it.  SCAR runs' perf reports accumulate in
-    ``perf_reports`` for aggregate throughput / cache-hit reporting.
+    ``perf_reports`` for aggregate throughput / cache-hit reporting
+    (capped to the most recent 4096 runs, like the process-wide log).
+
+    ``max_memo`` bounds the result memo: ``None`` (the default) keeps
+    every result, ``N >= 1`` keeps the N most recently used, ``0``
+    disables result memoization entirely.  Resource and memo bookkeeping
+    is lock-protected, so concurrent ``submit`` calls from the service's
+    worker threads are safe; two threads racing on the same cache key at
+    worst compute the same bit-identical result twice.
     """
 
-    def __init__(self, registry: SchedulerRegistry | None = None) -> None:
+    def __init__(self, registry: SchedulerRegistry | None = None, *,
+                 max_memo: int | None = None) -> None:
+        if max_memo is not None and max_memo < 0:
+            raise ConfigError(
+                f"max_memo must be None or >= 0, got {max_memo}")
         self.registry = registry if registry is not None \
             else DEFAULT_REGISTRY
-        self._memo: dict[str, ScheduleResult] = {}
+        self.max_memo = max_memo
+        self._memo: OrderedDict[str, ScheduleResult] = OrderedDict()
         self._databases: dict[float, LayerCostDatabase] = {}
-        self._scenarios: dict[str, Scenario] = {}
+        self._scenarios: OrderedDict[str, Scenario] = OrderedDict()
         self.perf_reports: list[PerfReport] = []
+        self._mutex = threading.RLock()
 
     # -- resource lifecycle ------------------------------------------------
 
     def _database(self, clock_hz: float) -> LayerCostDatabase:
-        if clock_hz not in self._databases:
-            self._databases[clock_hz] = LayerCostDatabase(clock_hz=clock_hz)
-        return self._databases[clock_hz]
+        with self._mutex:
+            if clock_hz not in self._databases:
+                self._databases[clock_hz] = \
+                    LayerCostDatabase(clock_hz=clock_hz)
+            return self._databases[clock_hz]
 
     def _scenario(self, request: ScheduleRequest) -> Scenario:
         key = f"id:{request.scenario_id}" \
@@ -70,17 +101,50 @@ class Session:
             else "spec:" + json.dumps(request.scenario_spec,
                                       sort_keys=True,
                                       separators=(",", ":"))
-        if key not in self._scenarios:
-            self._scenarios[key] = request.resolve_scenario()
-        return self._scenarios[key]
+        with self._mutex:
+            cached = self._scenarios.get(key)
+            if cached is not None:
+                self._scenarios.move_to_end(key)
+                return cached
+        # Resolve outside the lock: model building can be slow, and
+        # holding the session mutex would stall every concurrent submit
+        # (two racing resolutions build the same scenario; last wins).
+        scenario = request.resolve_scenario()
+        with self._mutex:
+            self._scenarios[key] = scenario
+            self._scenarios.move_to_end(key)
+            while len(self._scenarios) > _SCENARIO_CACHE_CAP:
+                self._scenarios.popitem(last=False)
+            return scenario
+
+    # -- result memo -------------------------------------------------------
+
+    def _memo_get(self, key: str) -> ScheduleResult | None:
+        with self._mutex:
+            result = self._memo.get(key)
+            if result is not None:
+                self._memo.move_to_end(key)  # LRU touch
+            return result
+
+    def _memo_put(self, key: str, result: ScheduleResult) -> None:
+        if self.max_memo == 0:
+            return
+        with self._mutex:
+            self._memo[key] = result
+            self._memo.move_to_end(key)
+            while self.max_memo is not None \
+                    and len(self._memo) > self.max_memo:
+                self._memo.popitem(last=False)
 
     # -- execution ---------------------------------------------------------
 
     def submit(self, request: ScheduleRequest) -> ScheduleResult:
         """Run one request (or serve it from the session memo)."""
         key = request.cache_key()
-        if request.memoize and key in self._memo:
-            return self._memo[key]
+        if request.memoize:
+            memoized = self._memo_get(key)
+            if memoized is not None:
+                return memoized
 
         scenario = self._scenario(request)
         mcm = templates.build(request.template, scenario.use_case)
@@ -89,10 +153,17 @@ class Session:
         outcome = self.registry.run(ctx)
         result = self._wrap(request, outcome)
         if result.perf is not None:
-            self.perf_reports.append(result.perf)
+            self._log_perf(result.perf)
         if request.memoize:
-            self._memo[key] = result
+            self._memo_put(key, result)
         return result
+
+    def _log_perf(self, perf: PerfReport) -> None:
+        with self._mutex:
+            self.perf_reports.append(perf)
+            if len(self.perf_reports) > _PERF_REPORTS_CAP:
+                del self.perf_reports[
+                    :len(self.perf_reports) - _PERF_REPORTS_CAP]
 
     def submit_many(self, requests: Iterable[ScheduleRequest], *,
                     jobs: int = 1) -> list[ScheduleResult]:
@@ -126,8 +197,9 @@ class Session:
         for i, request in enumerate(requests):
             key = request.cache_key()
             if request.memoize:
-                if key in self._memo:
-                    results[i] = self._memo[key]
+                memoized = self._memo_get(key)
+                if memoized is not None:
+                    results[i] = memoized
                 else:
                     pending.setdefault(key, []).append(i)
             else:
@@ -148,16 +220,23 @@ class Session:
                 for i in indices:
                     results[i] = result
                 if result.perf is not None:
-                    self.perf_reports.append(result.perf)
+                    self._log_perf(result.perf)
                 if requests[indices[0]].memoize:
-                    self._memo[requests[indices[0]].cache_key()] = result
+                    self._memo_put(requests[indices[0]].cache_key(),
+                                   result)
         return results  # type: ignore[return-value]
 
     # -- reporting ---------------------------------------------------------
 
     def perf_summary(self) -> PerfReport:
-        """Aggregate perf report over every SCAR run this session made."""
-        return aggregate_reports(self.perf_reports)
+        """Aggregate perf report over every SCAR run this session made.
+
+        Snapshots the log under the lock so a concurrent worker's append
+        or cap-trim cannot tear the aggregate.
+        """
+        with self._mutex:
+            reports = list(self.perf_reports)
+        return aggregate_reports(reports)
 
     # -- result assembly ---------------------------------------------------
 

@@ -13,6 +13,7 @@ so they can never drift from the primary fields.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any
 
@@ -21,8 +22,50 @@ from repro.core.metrics import (
     ScheduleMetrics,
     WindowMetrics,
 )
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    DataflowError,
+    HardwareError,
+    JobNotFoundError,
+    ReproError,
+    SchedulingError,
+    SearchError,
+    ServiceError,
+    ValidationError,
+    WorkloadError,
+)
 from repro.perf import CacheStats, PerfReport
+
+#: Wire-format version shared by every document kind (requests, results,
+#: jobs, errors); bumped on incompatible schema changes.
+WIRE_VERSION = 1
+
+
+def loads_document(text: str, what: str) -> dict[str, Any]:
+    """Parse a JSON wire document, wrapping parse errors as ConfigError."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"cannot parse {what}: {exc}") from exc
+
+
+def check_envelope(data: Any, kind: str) -> None:
+    """Validate the shared ``{"kind": ..., "version": ...}`` envelope.
+
+    The single implementation every document kind parses through, so a
+    future envelope change (version negotiation, new fields) lands in
+    one place.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a {kind} document, got "
+                          f"{type(data).__name__}")
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise ConfigError(f"expected kind {kind!r}, got {got_kind!r}")
+    version = data.get("version")
+    if version != WIRE_VERSION:
+        raise ConfigError(f"unsupported wire version {version!r} "
+                          f"(supported: {WIRE_VERSION})")
 
 
 @dataclass(frozen=True)
@@ -135,3 +178,102 @@ def perf_from_dict(data: dict[str, Any]) -> PerfReport:
         )
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed perf report: {exc}") from exc
+
+
+# -- error documents -------------------------------------------------------
+
+_ERROR_KIND = "error"
+
+#: Exception class -> stable wire error code, most-derived first so the
+#: MRO walk in :meth:`ErrorDocument.from_exception` finds the tightest
+#: match.  The codes are the wire contract; the classes are python-side.
+_ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
+    (ValidationError, "validation_error"),
+    (JobNotFoundError, "not_found"),
+    (SchedulingError, "scheduling_error"),
+    (WorkloadError, "workload_error"),
+    (HardwareError, "hardware_error"),
+    (DataflowError, "dataflow_error"),
+    (SearchError, "search_error"),
+    (ConfigError, "config_error"),
+    (ServiceError, "service_error"),
+    (ReproError, "repro_error"),
+)
+
+#: Reverse map for rebuilding typed exceptions from wire codes; service
+#: conditions that have no exception class of their own resolve to
+#: :class:`ServiceError`.
+_CODE_TO_EXCEPTION: dict[str, type[ReproError]] = {
+    **{code: exc_type for exc_type, code in _ERROR_CODES},
+    "job_not_done": ServiceError,
+    "job_cancelled": ServiceError,
+    "unknown_endpoint": ServiceError,
+    "bad_request": ConfigError,
+}
+
+
+@dataclass(frozen=True)
+class ErrorDocument:
+    """Structured wire form of a failure (``kind: "error"``).
+
+    Replaces raw tracebacks at every serialized boundary (CLI
+    ``--format json``, the HTTP service): ``code`` is a stable
+    machine-readable identifier, ``message`` the human-readable detail,
+    and ``field`` the offending request field path where one is known
+    (e.g. ``"requests[2]"`` for a malformed batch entry).
+    """
+
+    code: str
+    message: str
+    field: str | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException,
+                       field: str | None = None) -> "ErrorDocument":
+        """Map an exception to its wire document (tightest class wins).
+
+        Non-:class:`ReproError` exceptions become ``internal_error`` so a
+        service can report crashes without leaking a traceback.
+        """
+        for exc_type, code in _ERROR_CODES:
+            if isinstance(exc, exc_type):
+                return cls(code=code, message=str(exc), field=field)
+        return cls(code="internal_error",
+                   message=f"{type(exc).__name__}: {exc}", field=field)
+
+    def exception(self) -> ReproError:
+        """Rebuild a typed exception (unknown codes -> ReproError).
+
+        The wire code rides along as ``exc.code`` so transport layers
+        can branch on the precise condition (e.g. ``job_not_done``)
+        without parsing the message.
+        """
+        exc = _CODE_TO_EXCEPTION.get(self.code, ReproError)(self.message)
+        exc.code = self.code
+        return exc
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": _ERROR_KIND, "version": WIRE_VERSION,
+                "code": self.code, "message": self.message,
+                "field": self.field}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ErrorDocument":
+        check_envelope(data, _ERROR_KIND)
+        try:
+            return cls(code=data["code"], message=data["message"],
+                       field=data.get("field"))
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed error document: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ErrorDocument":
+        return cls.from_dict(loads_document(text, "error document"))
+
+
+def is_error_document(data: Any) -> bool:
+    """True when ``data`` looks like an error wire document."""
+    return isinstance(data, dict) and data.get("kind") == _ERROR_KIND

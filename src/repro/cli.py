@@ -6,12 +6,17 @@ Regenerates any paper table/figure from the terminal::
     scar fig9                   # Fig. 9 / Table VI breakdown
     scar schedule --scenario 4 --template het_sides_3x3
     scar schedule --scenario 4 --fast --format json   # wire document
+    scar serve --port 8787 --workers 2                # HTTP job service
     scar list                   # available experiments
 
 The ``schedule`` command is a thin shell over :mod:`repro.api`: it builds
 one ``ScheduleRequest``, submits it to a ``Session`` and prints either
 the human-readable breakdown or (``--format json``) the result's JSON
 wire document; ``--output`` writes that same document to a file.
+Failures on the JSON path print a structured error document (``kind:
+"error"``) instead of a traceback.  The ``serve`` command runs the
+:mod:`repro.service` HTTP front-end (``POST /v1/jobs`` and friends, see
+DESIGN.md "The repro.service layer") until interrupted.
 
 ``--fast`` uses the CI budget (seconds-to-minutes); the default budget
 matches the paper's settings and can take several minutes per experiment.
@@ -79,17 +84,25 @@ def _cmd_list() -> int:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.api import ScheduleRequest, Session
+    from repro.errors import ReproError
     from repro.mcm import templates
 
     config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
-    request = ScheduleRequest(
-        scenario_id=args.scenario, template=args.template,
-        policy=args.policy, objective=args.objective,
-        nsplits=config.nsplits, budget=config.budget, jobs=args.jobs)
-    result = Session().submit(request)
+    try:
+        request = ScheduleRequest(
+            scenario_id=args.scenario, template=args.template,
+            policy=args.policy, objective=args.objective,
+            nsplits=config.nsplits, budget=config.budget, jobs=args.jobs)
+        result = Session().submit(request)
+    except ReproError as exc:
+        return _report_error(exc, args.format)
     if args.output:
         from repro.config import save_json
-        save_json(result.to_dict(), args.output)
+
+        try:
+            save_json(result.to_dict(), args.output)
+        except OSError as exc:
+            return _report_error(exc, args.format)
     if args.format == "json":
         print(result.to_json())
     else:
@@ -103,6 +116,46 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             print(result.perf.render())
         if args.output:
             print(f"schedule written to {args.output}")
+    return 0
+
+
+def _report_error(exc: Exception, output_format: str) -> int:
+    """Print a failure without a traceback; JSON gets the error document."""
+    from repro.api import ErrorDocument
+
+    if output_format == "json":
+        print(ErrorDocument.from_exception(exc).to_json())
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.service import SchedulerService, ServiceServer
+
+    service = SchedulerService(Session(max_memo=args.max_memo),
+                               workers=args.workers,
+                               retain=args.retain)
+    try:
+        server = ServiceServer((args.host, args.port), service)
+    except (OSError, OverflowError) as exc:  # Overflow: port > 65535
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        service.close()
+        return 1
+    print(f"repro scheduling service on {server.url}/v1/jobs "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''}); "
+          f"Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        # Prompt shutdown: Ctrl-C under a deep backlog cancels the
+        # queued jobs instead of draining them for hours.
+        service.close(cancel_pending=True)
     return 0
 
 
@@ -135,22 +188,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the schedule-result JSON document here")
     _add_common_options(sched)
 
+    serve = sub.add_parser("serve",
+                           help="run the HTTP job-scheduling service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (default: 8787; 0 = ephemeral)")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="job worker threads (default: 2)")
+    serve.add_argument("--max-memo", type=_nonnegative_int, default=None,
+                       metavar="N",
+                       help="LRU cap on the session result memo "
+                       "(default: unbounded; 0 disables it)")
+    serve.add_argument("--retain", type=_positive_int, default=None,
+                       metavar="N",
+                       help="keep only the N most recent finished job "
+                       "records/results; size comfortably above the "
+                       "number of jobs in flight (default: unbounded)")
+
     for name, (description, _) in _EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)
         _add_common_options(exp)
     return parser
 
 
-def _positive_int(value: str) -> int:
-    try:
-        parsed = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer, got {value!r}") from None
-    if parsed < 1:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer >= 1, got {value!r}")
-    return parsed
+def _int_at_least(minimum: int, what: str):
+    """An argparse type validating an integer ``>= minimum``."""
+
+    def parse(value: str) -> int:
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected {what}, got {value!r}") from None
+        if parsed < minimum:
+            raise argparse.ArgumentTypeError(
+                f"expected {what} >= {minimum}, got {value!r}")
+        return parsed
+
+    return parse
+
+
+_positive_int = _int_at_least(1, "a positive integer")
+_nonnegative_int = _int_at_least(0, "an integer")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -172,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     config = ExperimentConfig.fast(jobs=args.jobs) if args.fast \
         else ExperimentConfig(jobs=args.jobs)
     drain_perf_reports()  # start the perf log fresh for this command

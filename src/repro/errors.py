@@ -38,3 +38,12 @@ class SearchError(ReproError):
 
 class ConfigError(ReproError):
     """Malformed configuration file or unknown template name."""
+
+
+class ServiceError(ReproError):
+    """Invalid use of the job-oriented scheduling service (result
+    requested before completion, submit after shutdown)."""
+
+
+class JobNotFoundError(ServiceError):
+    """The service has no job under this id (never existed or evicted)."""

@@ -117,6 +117,47 @@ class PerfReport:
         }
 
 
+@dataclass
+class TimingSummary:
+    """Aggregate of wall-time samples (per-job queue / run times).
+
+    The scheduling service feeds one sample per job into two of these
+    (time spent ``QUEUED`` and time spent ``RUNNING``) and surfaces them
+    through ``SchedulerService.perf_summary()``; merging is associative
+    so summaries from several services can combine.
+    """
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, sample_s: float) -> None:
+        self.count += 1
+        self.total_s += sample_s
+        self.max_s = max(self.max_s, sample_s)
+
+    @classmethod
+    def from_samples(cls, samples) -> "TimingSummary":
+        summary = cls()
+        for sample in samples:
+            summary.add(sample)
+        return summary
+
+    def merge(self, other: "TimingSummary") -> "TimingSummary":
+        """Combine two summaries (associative, like ``merge_stats``)."""
+        return TimingSummary(count=self.count + other.count,
+                             total_s=self.total_s + other.total_s,
+                             max_s=max(self.max_s, other.max_s))
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total_s": self.total_s,
+                "mean_s": self.mean_s, "max_s": self.max_s}
+
+
 def aggregate_reports(reports: list[PerfReport],
                       jobs: int | None = None) -> PerfReport:
     """Merge perf reports of many runs into one summary.

@@ -1,0 +1,48 @@
+"""Asynchronous job-oriented scheduling service over :mod:`repro.api`.
+
+The second supported entry point beside the in-process
+:class:`~repro.api.Session` facade::
+
+    from repro.api import ScheduleRequest
+    from repro.service import SchedulerService
+
+    with SchedulerService(workers=2) as service:
+        handle = service.submit(ScheduleRequest(scenario_id=4))
+        print(handle.result().metrics.summary())   # == Session.submit
+
+and over HTTP (``scar serve`` on one side, :class:`ServiceClient` on the
+other)::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    result = client.submit(request).result(timeout=300)
+
+Jobs carry the ``QUEUED -> RUNNING -> DONE | FAILED | CANCELLED`` state
+machine of :mod:`repro.service.jobs`; results are bit-identical to
+``Session.submit`` because every job runs through the same session
+memo/cache-key path.  See DESIGN.md ("The repro.service layer").
+"""
+
+from repro.service.http import ServiceServer, local_service
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JobEvent,
+    JobRecord,
+)
+from repro.service.client import RemoteJob, ServiceClient
+from repro.service.scheduler import JobHandle, SchedulerService
+
+__all__ = [
+    "CANCELLED", "DONE", "FAILED", "JOB_STATES", "JobEvent", "JobHandle",
+    "JobRecord", "QUEUED", "RUNNING", "RemoteJob", "SchedulerService",
+    "ServiceClient", "ServiceServer", "TERMINAL_STATES", "TRANSITIONS",
+    "local_service",
+]

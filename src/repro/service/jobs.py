@@ -1,0 +1,184 @@
+"""Job value objects: lifecycle records, progress events, wire forms.
+
+A *job* is one :class:`~repro.api.ScheduleRequest` travelling through the
+scheduling service.  Its lifecycle is a small state machine::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          ├──────> FAILED
+       └──────────┴──────> CANCELLED
+
+:class:`JobRecord` is an immutable snapshot of one job: every transition
+produces a *new* record (via :meth:`JobRecord.transition`) carrying a
+monotonic :class:`JobEvent` trail, so observers can never see a
+half-updated job.  Records round-trip through the same kind/version JSON
+envelope as requests and results (``kind: "job"``,
+``JobRecord.from_dict(to_dict(x)) == x``), which is what the HTTP layer
+puts on the wire.
+
+Wall-time fields (``queue_s``, ``run_s``) are measurements, not
+identity: they round-trip exactly (floats) but are nondeterministic
+across runs, exactly like ``PerfReport.wall_s``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.api.request import ScheduleRequest
+from repro.api.wire import (
+    WIRE_VERSION,
+    ErrorDocument,
+    check_envelope,
+    loads_document,
+)
+from repro.errors import ConfigError, ServiceError
+
+#: Lifecycle states.
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Legal state-machine edges.
+TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+_JOB_KIND = "job"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One progress event: the job entered ``state`` as step ``seq``.
+
+    ``seq`` is strictly increasing along a record's event trail (the
+    monotonicity is enforced by ``JobRecord.__post_init__``), so any
+    observer replaying events sees progress move forward only.
+    """
+
+    seq: int
+    state: str
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "state": self.state, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobEvent":
+        try:
+            return cls(seq=data["seq"], state=data["state"],
+                       note=data.get("note", ""))
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed job event: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable snapshot of one job's lifecycle.
+
+    ``queue_s`` is the time the job spent ``QUEUED`` (set when it starts
+    running or is cancelled off the queue); ``run_s`` the wall time of
+    the policy run (set on any terminal transition out of ``RUNNING``).
+    ``error`` carries the structured failure document of a ``FAILED``
+    job.  The schedule result itself stays in the service -- a record is
+    pure metadata and therefore cheap to snapshot, list and serialize.
+    """
+
+    job_id: str
+    request: ScheduleRequest
+    state: str = QUEUED
+    priority: int = 0
+    events: tuple[JobEvent, ...] = ()
+    error: ErrorDocument | None = None
+    queue_s: float | None = None
+    run_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ConfigError(f"unknown job state {self.state!r}; "
+                              f"valid: {JOB_STATES}")
+        seqs = [event.seq for event in self.events]
+        if any(b <= a for a, b in zip(seqs, seqs[1:])):
+            raise ConfigError(
+                f"job {self.job_id}: event seq must be strictly "
+                f"increasing, got {seqs}")
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str, *, note: str = "",
+                   error: ErrorDocument | None = None,
+                   queue_s: float | None = None,
+                   run_s: float | None = None) -> "JobRecord":
+        """A new record moved to ``state`` (illegal edges raise).
+
+        Appends the matching :class:`JobEvent` with the next ``seq``;
+        timing/error fields only ever fill in, never reset.
+        """
+        if state not in TRANSITIONS.get(self.state, frozenset()):
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} -> {state}")
+        next_seq = self.events[-1].seq + 1 if self.events else 0
+        return replace(
+            self, state=state,
+            events=self.events + (JobEvent(seq=next_seq, state=state,
+                                           note=note),),
+            error=error if error is not None else self.error,
+            queue_s=queue_s if queue_s is not None else self.queue_s,
+            run_s=run_s if run_s is not None else self.run_s)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": _JOB_KIND,
+            "version": WIRE_VERSION,
+            "job_id": self.job_id,
+            "request": self.request.to_dict(),
+            "state": self.state,
+            "priority": self.priority,
+            "events": [event.to_dict() for event in self.events],
+            "error": None if self.error is None else self.error.to_dict(),
+            "queue_s": self.queue_s,
+            "run_s": self.run_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRecord":
+        check_envelope(data, _JOB_KIND)
+        try:
+            return cls(
+                job_id=data["job_id"],
+                request=ScheduleRequest.from_dict(data["request"]),
+                state=data["state"],
+                priority=data["priority"],
+                events=tuple(JobEvent.from_dict(event)
+                             for event in data["events"]),
+                error=None if data.get("error") is None
+                else ErrorDocument.from_dict(data["error"]),
+                queue_s=data.get("queue_s"),
+                run_s=data.get("run_s"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed job document: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobRecord":
+        return cls.from_dict(loads_document(text, "job document"))

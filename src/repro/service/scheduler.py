@@ -1,0 +1,484 @@
+"""The job scheduler: a bounded worker pool over a :class:`Session`.
+
+:class:`SchedulerService` turns the blocking ``Session.submit`` call
+into asynchronous jobs: callers get a :class:`JobHandle` back
+immediately, jobs run on ``workers`` daemon threads popping a priority
+queue (lower ``priority`` first, FIFO within a priority), and every
+result is produced by the *same* ``Session.submit`` path -- same memo,
+same cache keys -- so a job's schedule/metrics are bit-identical to a
+direct in-process submit of the same request.
+
+Cancellation is cooperative: a ``QUEUED`` job cancels immediately; a
+``RUNNING`` job finishes its (atomic) policy run and is then marked
+``CANCELLED`` with its result discarded.  ``close()`` drains the queue
+(remaining jobs still run) and joins the workers; the service is usable
+as a context manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Iterable
+
+from repro.api.request import ScheduleRequest, ScheduleResult
+from repro.api.session import Session
+from repro.api.wire import ErrorDocument
+from repro.errors import ConfigError, JobNotFoundError, ServiceError
+from repro.perf import TimingSummary
+from repro.service import jobs as jobstate
+from repro.service.jobs import JobRecord
+
+#: Queue sentinel priority: sorts after every real job, so close() drains
+#: the backlog before the workers exit.
+_SHUTDOWN_PRIORITY = float("inf")
+
+
+class _Completion:
+    """Terminal-outcome slot shared between the service and one handle.
+
+    The worker fills ``record``/``result`` *before* setting ``event``,
+    so any waiter that wakes reads a complete outcome.  Retain-eviction
+    drops the service's reference only -- a live :class:`JobHandle`
+    keeps its own, so an in-process caller can never lose a result it
+    is waiting on.
+    """
+
+    __slots__ = ("event", "record", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record: JobRecord | None = None
+        self.result: ScheduleResult | None = None
+
+    def finish(self, record: JobRecord,
+               result: ScheduleResult | None = None) -> None:
+        self.record = record
+        self.result = result
+        self.event.set()
+
+
+class JobHandle:
+    """Caller-facing view of one submitted job.
+
+    ``record()`` snapshots the immutable :class:`JobRecord`; ``result()``
+    blocks until the job is terminal and either returns the
+    ``ScheduleResult`` or raises the job's typed error (``FAILED``) /
+    :class:`~repro.errors.ServiceError` (``CANCELLED``).  The handle
+    holds the job's :class:`_Completion`, so waiting through it is
+    immune to retain-eviction (unlike by-id access, which lives inside
+    the retention window).
+    """
+
+    def __init__(self, service: "SchedulerService", job_id: str,
+                 submitted_record: JobRecord,
+                 completion: _Completion) -> None:
+        self._service = service
+        self._completion = completion
+        self.job_id = job_id
+        #: The QUEUED record snapshotted at submit time, so accepting a
+        #: job can always be acknowledged even if a tight ``retain`` cap
+        #: evicts it immediately after it finishes.
+        self.submitted_record = submitted_record
+
+    def record(self) -> JobRecord:
+        try:
+            return self._service.job(self.job_id)
+        except JobNotFoundError:
+            # Evicted from the service; the handle still knows the
+            # final (or at least the submitted) state.
+            return self._completion.record or self.submitted_record
+
+    @property
+    def state(self) -> str:
+        return self.record().state
+
+    def done(self) -> bool:
+        return self.record().terminal
+
+    def wait(self, timeout: float | None = None) -> JobRecord:
+        if not self._completion.event.wait(timeout):
+            raise ServiceError(
+                f"job {self.job_id} still {self.record().state} after "
+                f"{timeout}s")
+        record = self._completion.record
+        assert record is not None  # set before the event fires
+        return record
+
+    def result(self, timeout: float | None = None) -> ScheduleResult:
+        record = self.wait(timeout)
+        if record.state == jobstate.DONE:
+            result = self._completion.result
+            assert result is not None
+            return result
+        if record.state == jobstate.FAILED:
+            assert record.error is not None
+            raise record.error.exception()
+        raise ServiceError(f"job {self.job_id} was cancelled")
+
+    def cancel(self) -> JobRecord:
+        return self._service.cancel(self.job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.job_id!r}, state={self.state!r})"
+
+
+class SchedulerService:
+    """Asynchronous job front-end over one :class:`Session`.
+
+    ``workers`` bounds concurrency.  The throughput win of ``workers >
+    1`` comes from overlapping requests whose own ``jobs=N`` fan work out
+    to processes (the GIL is released while waiting on the pool) and
+    from overlapping queue/IO handling; the determinism contract is
+    unconditional either way.
+
+    ``retain`` bounds memory like ``Session(max_memo=N)`` does for the
+    result memo: only the N most recent *terminal* jobs keep their
+    records and results; older ones are evicted and subsequently raise
+    :class:`~repro.errors.JobNotFoundError`.  ``None`` (the default)
+    retains everything.
+    """
+
+    def __init__(self, session: Session | None = None, *,
+                 workers: int = 1, retain: int | None = None) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if retain is not None and retain < 1:
+            raise ConfigError(f"retain must be None or >= 1, got {retain}")
+        self.session = session if session is not None else Session()
+        self.workers = workers
+        self.retain = retain
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._results: dict[str, ScheduleResult] = {}
+        self._completions: dict[str, _Completion] = {}
+        self._enqueued_at: dict[str, float] = {}
+        self._cancel_requested: set[str] = set()
+        self._terminal_order: list[str] = []  # eviction order for retain
+        self._retrieved: set[str] = set()  # results fetched at least once
+        self._seq = itertools.count()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-service-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: ScheduleRequest, *,
+               priority: int = 0) -> JobHandle:
+        """Queue one request; lower ``priority`` runs first."""
+        with self._lock:
+            return self._submit_locked(request, priority)
+
+    def submit_many(self, requests: Iterable[ScheduleRequest], *,
+                    priority: int = 0) -> list[JobHandle]:
+        """Queue a batch atomically; handles come back in request order.
+
+        One lock section covers the whole batch, so a concurrent
+        ``close()`` either rejects it entirely or accepts it entirely --
+        never a partially queued batch behind an error.
+        """
+        requests = list(requests)
+        with self._lock:
+            return [self._submit_locked(request, priority)
+                    for request in requests]
+
+    def _submit_locked(self, request: ScheduleRequest,
+                       priority: int) -> JobHandle:
+        if self._closed:
+            raise ServiceError("service is closed; no new jobs")
+        seq = next(self._seq)
+        job_id = f"job-{seq:06d}"
+        record = JobRecord(job_id=job_id, request=request,
+                           priority=priority,
+                           events=(jobstate.JobEvent(
+                               seq=0, state=jobstate.QUEUED),))
+        self._records[job_id] = record
+        completion = _Completion()
+        self._completions[job_id] = completion
+        self._enqueued_at[job_id] = time.monotonic()
+        # Enqueue under the same lock as the closed check: a close()
+        # racing in between would drain the workers before this put
+        # landed, stranding an accepted job QUEUED forever.  The queue
+        # is unbounded, so put never blocks.
+        self._queue.put((priority, seq, job_id))
+        return JobHandle(self, job_id, record, completion)
+
+    # -- observation -------------------------------------------------------
+
+    def job(self, job_id: str) -> JobRecord:
+        """Snapshot one job's record (unknown/evicted ids raise
+        :class:`~repro.errors.JobNotFoundError`)."""
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise JobNotFoundError(
+                    f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> list[JobRecord]:
+        """Snapshots of every job, in submission order."""
+        with self._lock:
+            return list(self._records.values())
+
+    def wait(self, job_id: str,
+             timeout: float | None = None) -> JobRecord:
+        """Block until the job is terminal; returns the final record.
+
+        By-id access: with ``retain=N`` the record is only reachable
+        inside the retention window.  Prefer ``JobHandle.wait``, which
+        is eviction-immune.
+        """
+        completion = self._completion(job_id)
+        if not completion.event.wait(timeout):
+            raise ServiceError(
+                f"job {job_id} still {self.job(job_id).state} after "
+                f"{timeout}s")
+        record = completion.record
+        assert record is not None
+        return record
+
+    def snapshot(self, job_id: str) \
+            -> tuple[JobRecord, ScheduleResult | None]:
+        """Atomically read a job's record and (if DONE) its result.
+
+        One lock section, so retain-eviction can never fall between
+        observing a terminal state and fetching the payload -- the HTTP
+        result endpoint is built on this.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFoundError(f"unknown job id {job_id!r}")
+            result = self._results.get(job_id)
+            if record.state == jobstate.DONE:
+                self._retrieved.add(job_id)
+            return record, result
+
+    def result(self, job_id: str) -> ScheduleResult:
+        """The finished job's result (non-blocking; see also ``wait``).
+
+        ``FAILED`` jobs re-raise their typed error; ``CANCELLED`` and
+        still-pending jobs raise :class:`~repro.errors.ServiceError`.
+        """
+        # One lock acquisition for the state check and the result
+        # lookup: with retain-eviction a job can disappear between the
+        # two, which must surface as JobNotFoundError, not a KeyError.
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFoundError(f"unknown job id {job_id!r}")
+            if record.state == jobstate.DONE:
+                self._retrieved.add(job_id)
+                return self._results[job_id]
+        if record.state == jobstate.FAILED:
+            assert record.error is not None
+            raise record.error.exception()
+        if record.state == jobstate.CANCELLED:
+            raise ServiceError(f"job {job_id} was cancelled")
+        raise ServiceError(
+            f"job {job_id} is {record.state}, not finished")
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation (idempotent; cooperative while RUNNING).
+
+        ``QUEUED`` jobs flip to ``CANCELLED`` immediately; ``RUNNING``
+        jobs are flagged and become ``CANCELLED`` when their policy run
+        completes (the computed result is discarded).  Terminal jobs are
+        returned unchanged.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise JobNotFoundError(f"unknown job id {job_id!r}")
+            if record.terminal:
+                return record
+            if record.state == jobstate.QUEUED:
+                queue_s = time.monotonic() - self._enqueued_at[job_id]
+                record = record.transition(jobstate.CANCELLED,
+                                           note="cancelled while queued",
+                                           queue_s=queue_s)
+                self._records[job_id] = record
+                self._completions[job_id].finish(record)
+                self._terminal_order.append(job_id)
+                self._evict_locked()
+                return record
+            # RUNNING: flag it; the worker finishes the transition.
+            self._cancel_requested.add(job_id)
+            return record
+
+    # -- reporting ---------------------------------------------------------
+
+    @staticmethod
+    def _tally(records: list[JobRecord]) -> dict[str, int]:
+        counts = {state: 0 for state in jobstate.JOB_STATES}
+        counts["total"] = len(records)
+        for record in records:
+            counts[record.state] += 1
+        return counts
+
+    def state_counts(self) -> dict[str, int]:
+        """Cheap per-state job tally (the ``/v1/health`` payload)."""
+        with self._lock:
+            return self._tally(list(self._records.values()))
+
+    def perf_summary(self) -> dict:
+        """Service-level stats: job states, queue/run times, session perf.
+
+        ``queue`` / ``run`` aggregate per-job wall times
+        (:class:`~repro.perf.TimingSummary`); ``session`` is the wrapped
+        session's aggregate :class:`~repro.perf.PerfReport`.
+        """
+        with self._lock:
+            records = list(self._records.values())
+        queue_summary = TimingSummary.from_samples(
+            record.queue_s for record in records
+            if record.queue_s is not None)
+        run_summary = TimingSummary.from_samples(
+            record.run_s for record in records
+            if record.run_s is not None)
+        return {
+            "jobs": self._tally(records),
+            "queue": queue_summary.to_dict(),
+            "run": run_summary.to_dict(),
+            "session": self.session.perf_summary().to_dict(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, *, wait: bool = True,
+              cancel_pending: bool = False) -> None:
+        """Stop accepting jobs and join the workers.
+
+        By default the queued backlog still runs (graceful drain).
+        ``cancel_pending=True`` cancels every still-``QUEUED`` job
+        instead, so shutdown is prompt even under a deep backlog; jobs
+        already ``RUNNING`` finish their atomic policy run either way.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if cancel_pending:
+                for job_id, record in list(self._records.items()):
+                    if record.state != jobstate.QUEUED:
+                        continue
+                    queue_s = time.monotonic() \
+                        - self._enqueued_at[job_id]
+                    cancelled = record.transition(
+                        jobstate.CANCELLED,
+                        note="cancelled at shutdown", queue_s=queue_s)
+                    self._records[job_id] = cancelled
+                    self._completions[job_id].finish(cancelled)
+                    self._terminal_order.append(job_id)
+                self._evict_locked()
+        for _ in self._threads:
+            self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _completion(self, job_id: str) -> _Completion:
+        with self._lock:
+            try:
+                return self._completions[job_id]
+            except KeyError:
+                raise JobNotFoundError(
+                    f"unknown job id {job_id!r}") from None
+
+    def _worker(self) -> None:
+        while True:
+            _, _, job_id = self._queue.get()
+            if job_id is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_one(job_id)
+            finally:
+                self._queue.task_done()
+
+    def _run_one(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.state != jobstate.QUEUED:
+                # Cancelled off the queue (and possibly evicted already);
+                # the stale queue entry is a no-op.
+                return
+            queue_s = time.monotonic() - self._enqueued_at[job_id]
+            record = record.transition(jobstate.RUNNING, queue_s=queue_s)
+            self._records[job_id] = record
+        started = time.monotonic()
+        try:
+            result = self.session.submit(record.request)
+        except Exception as exc:  # noqa: BLE001 - mapped to wire error
+            self._finish(job_id, jobstate.FAILED, started,
+                         error=ErrorDocument.from_exception(exc))
+        else:
+            self._finish(job_id, jobstate.DONE, started, result=result)
+
+    def _finish(self, job_id: str, state: str, started: float, *,
+                result: ScheduleResult | None = None,
+                error: ErrorDocument | None = None,
+                note: str = "") -> None:
+        run_s = time.monotonic() - started
+        with self._lock:
+            # The cancel flag is honoured under the same lock that sets
+            # it, so a cancel() racing the end of the run can never be
+            # silently dropped into a DONE.
+            if state == jobstate.DONE \
+                    and job_id in self._cancel_requested:
+                state = jobstate.CANCELLED
+                result = None
+                note = "cancelled during run; result discarded"
+            record = self._records[job_id].transition(
+                state, note=note, error=error, run_s=run_s)
+            self._records[job_id] = record
+            if result is not None:
+                self._results[job_id] = result
+            self._cancel_requested.discard(job_id)
+            self._completions[job_id].finish(record, result)
+            self._terminal_order.append(job_id)
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Drop terminal jobs past the ``retain`` cap, oldest first,
+        preferring jobs whose result was already retrieved.
+
+        Caller holds ``self._lock``.  Live (QUEUED/RUNNING) jobs are
+        never candidates, so the worker loop and open handles on pending
+        work stay valid.  The retrieved-first preference means a
+        well-paced client rarely loses an unfetched result; when *every*
+        candidate is unretrieved the oldest goes anyway -- the cap is a
+        hard memory bound, so ``retain`` should be sized comfortably
+        above the number of jobs in flight.
+        """
+        if self.retain is None:
+            return
+        while len(self._terminal_order) > self.retain:
+            job_id = next((j for j in self._terminal_order
+                           if j in self._retrieved),
+                          self._terminal_order[0])
+            self._terminal_order.remove(job_id)
+            del self._records[job_id]
+            self._results.pop(job_id, None)
+            self._completions.pop(job_id, None)
+            self._enqueued_at.pop(job_id, None)
+            self._cancel_requested.discard(job_id)
+            self._retrieved.discard(job_id)

@@ -197,6 +197,59 @@ class TestSessionMemo:
             p.num_evaluated for p in session.perf_reports)
 
 
+class TestMemoLRU:
+    """Session(max_memo=N): bounded result memo with LRU eviction."""
+
+    @pytest.fixture
+    def requests(self, tiny_scenario, small_budget):
+        base = ScheduleRequest.for_scenario(
+            tiny_scenario, template="simba_nvd_3x3", policy="standalone",
+            budget=small_budget, nsplits=1)
+        return [base, base.replace(template="het_sides_3x3"),
+                base.replace(policy="nn_baton")]
+
+    def test_default_is_unbounded(self, requests):
+        session = Session()
+        assert session.max_memo is None
+        for request in requests:
+            session.submit(request)
+        assert len(session._memo) == len(requests)
+
+    def test_eviction_recomputes_bit_identically(self, requests):
+        session = Session(max_memo=1)
+        first = session.submit(requests[0])
+        session.submit(requests[1])  # evicts requests[0]
+        assert len(session._memo) == 1
+        again = session.submit(requests[0])
+        assert again is not first  # recomputed...
+        assert again.metrics == first.metrics  # ...bit-identically
+        assert again.schedule == first.schedule
+
+    def test_hit_refreshes_recency(self, requests):
+        session = Session(max_memo=2)
+        first = session.submit(requests[0])
+        second = session.submit(requests[1])
+        session.submit(requests[0])  # touch: 0 becomes most recent
+        session.submit(requests[2])  # evicts 1, not 0
+        assert session.submit(requests[0]) is first
+        assert session.submit(requests[1]) is not second
+
+    def test_zero_disables_the_memo(self, requests):
+        session = Session(max_memo=0)
+        first = session.submit(requests[0])
+        assert session.submit(requests[0]) is not first
+        assert len(session._memo) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError, match="max_memo"):
+            Session(max_memo=-1)
+
+    def test_batch_path_respects_the_cap(self, requests):
+        session = Session(max_memo=1)
+        session.submit_many(requests, jobs=2)
+        assert len(session._memo) == 1
+
+
 class TestSubmitMany:
     @pytest.fixture
     def requests(self, tiny_scenario, small_budget):

@@ -1,8 +1,9 @@
 """Smoke tests for the runnable examples (wire-format drift gate).
 
-``examples/api_demo.py`` asserts the JSON round-trip internally, so
-running it under the installed source tree fails loudly if the wire
-format drifts from what :mod:`repro.api` emits.
+``examples/api_demo.py`` and ``examples/service_demo.py`` assert the
+JSON round-trips and the service parity contract internally, so running
+them under the installed source tree fails loudly if the wire format
+drifts from what :mod:`repro.api` / :mod:`repro.service` emit.
 """
 
 from __future__ import annotations
@@ -15,15 +16,28 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def test_api_demo_runs_and_round_trips():
+def _run_example(name: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    proc = subprocess.run(
-        [sys.executable, str(REPO_ROOT / "examples" / "api_demo.py")],
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
         capture_output=True, text=True, timeout=300, env=env,
         cwd=REPO_ROOT)
+
+
+def test_api_demo_runs_and_round_trips():
+    proc = _run_example("api_demo.py")
     assert proc.returncode == 0, proc.stderr
     assert "wire round-trip OK" in proc.stdout
     assert "scar" in proc.stdout and "standalone" in proc.stdout
     assert "evaluations" in proc.stdout  # perf summary rendered
+
+
+def test_service_demo_runs_with_live_server_parity():
+    proc = _run_example("service_demo.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "service parity OK" in proc.stdout
+    assert "job record wire round-trip OK" in proc.stdout
+    assert "QUEUED -> RUNNING -> DONE" in proc.stdout
+    assert "per-job perf" in proc.stdout

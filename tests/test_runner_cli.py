@@ -123,6 +123,68 @@ class TestCLI:
         assert result.request.policy == "standalone"
         assert result.window_candidates == ()
 
+    def test_schedule_json_failure_emits_error_document(self, capsys):
+        """No tracebacks on the wire: failures become error documents."""
+        from repro.api import ErrorDocument
+
+        code = main(["schedule", "--scenario", "99", "--fast",
+                     "--format", "json"])
+        assert code == 1
+        doc = ErrorDocument.from_json(capsys.readouterr().out)
+        assert doc.code == "workload_error"
+        assert "unknown scenario id 99" in doc.message
+
+    def test_schedule_json_output_write_failure_is_structured(
+            self, capsys):
+        from repro.api import ErrorDocument
+
+        code = main(["schedule", "--scenario", "1", "--fast",
+                     "--format", "json", "--output",
+                     "/nonexistent-dir/out.json"])
+        assert code == 1
+        doc = ErrorDocument.from_json(capsys.readouterr().out)
+        assert doc.code == "internal_error"
+
+    def test_schedule_text_failure_is_concise(self, capsys):
+        code = main(["schedule", "--scenario", "99", "--fast"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.workers == 2
+        assert args.max_memo is None
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_max_memo(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--max-memo", "-1"])
+        assert ">= 0" in capsys.readouterr().err
+
+    def test_serve_bind_failure_is_concise(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot bind")
+        assert "Traceback" not in err
+
 
 class TestPositiveInt:
     @pytest.mark.parametrize("value,parsed", [("1", 1), ("8", 8)])

@@ -1,0 +1,227 @@
+"""The HTTP layer: live-server parity, lifecycle over the wire, errors."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ErrorDocument, ScheduleRequest, Session
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    ServiceError,
+    WorkloadError,
+)
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    ServiceClient,
+    local_service,
+)
+from service_helpers import (
+    POLICIES,
+    assert_equivalent,
+    gated_registry,
+    request_for,
+)
+
+
+class TestLiveServerParity:
+    def test_every_policy_bit_identical_over_http(self, tiny_scenario,
+                                                  small_budget):
+        """The issue's acceptance gate: ServiceClient against a live
+        server == Session.submit, for every built-in policy."""
+        requests = [request_for(tiny_scenario, small_budget, policy)
+                    for policy in POLICIES]
+        reference = [Session().submit(r) for r in requests]
+        with local_service(workers=2) as (url, _service):
+            client = ServiceClient(url)
+            handles = client.submit_many(requests)
+            results = [h.result(timeout=600) for h in handles]
+        for got, want in zip(results, reference):
+            assert_equivalent(got, want)
+
+    def test_single_submit_and_resubmit_after_eviction(self,
+                                                       tiny_scenario,
+                                                       small_budget):
+        a = request_for(tiny_scenario, small_budget, "standalone")
+        b = request_for(tiny_scenario, small_budget, "nn_baton")
+        reference = Session().submit(a)
+        with local_service(Session(max_memo=1),
+                           workers=1) as (url, _service):
+            client = ServiceClient(url)
+            first = client.submit(a).result(timeout=300)
+            client.submit(b).result(timeout=300)  # evicts a's memo entry
+            again = client.submit(a).result(timeout=300)
+        assert_equivalent(first, reference)
+        assert_equivalent(again, reference)
+
+
+class TestJobLifecycleOverHTTP:
+    @pytest.fixture
+    def gated(self, tiny_scenario, small_budget):
+        registry, started, release, _order = gated_registry()
+        request = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="gated",
+            budget=small_budget, nsplits=1)
+        with local_service(Session(registry), workers=1) as (url, svc):
+            yield ServiceClient(url), request, started, release
+            release.set()
+
+    def test_result_before_done_raises(self, gated):
+        client, request, started, release = gated
+        handle = client.submit(request)
+        assert started.wait(timeout=60)
+        with pytest.raises(ServiceError, match="job_not_done|RUNNING"):
+            client.result(handle.job_id)
+        release.set()
+        assert handle.result(timeout=300).metrics.latency_s > 0
+
+    def test_delete_cancels_queued_job(self, gated):
+        client, request, started, release = gated
+        client.submit(request)  # occupies the single worker
+        assert started.wait(timeout=60)
+        queued = client.submit(request.replace(prov_limit=63))
+        record = queued.cancel()
+        assert record.state == CANCELLED
+        with pytest.raises(ServiceError, match="cancelled"):
+            client.result(queued.job_id)
+        release.set()
+
+    def test_job_listing_and_progress_events(self, gated):
+        client, request, started, release = gated
+        handle = client.submit(request)
+        release.set()
+        record = handle.wait(timeout=300)
+        assert record.state == DONE
+        assert [e.state for e in record.events] == \
+            ["QUEUED", "RUNNING", "DONE"]
+        assert record.queue_s is not None and record.run_s is not None
+        listed = client.jobs()
+        assert [r.job_id for r in listed] == [handle.job_id]
+
+    def test_failed_job_reraises_typed_error(self, small_budget):
+        bad = ScheduleRequest(scenario_id=99, policy="standalone",
+                              budget=small_budget, nsplits=1)
+        with local_service(workers=1) as (url, _service):
+            client = ServiceClient(url)
+            handle = client.submit(bad)
+            record = handle.wait(timeout=300)
+            assert record.state == FAILED
+            assert record.error is not None
+            assert record.error.code == "workload_error"
+            with pytest.raises(WorkloadError, match="unknown scenario"):
+                handle.result()
+
+
+class TestWireErrors:
+    def test_unknown_job_id_raises_service_error(self):
+        with local_service(workers=1) as (url, _service):
+            client = ServiceClient(url)
+            with pytest.raises(ServiceError, match="unknown job id"):
+                client.job("job-999999")
+
+    def test_malformed_request_document_rejected(self):
+        with local_service(workers=1) as (url, _service):
+            client = ServiceClient(url)
+            with pytest.raises(ConfigError):
+                client._call("POST", "/v1/jobs",
+                             payload={"kind": "nonsense"})
+
+    def test_bad_batch_entry_names_the_field(self, tiny_scenario,
+                                             small_budget):
+        good = request_for(tiny_scenario, small_budget, "standalone")
+        with local_service(workers=1) as (url, _service):
+            body = json.dumps([good.to_dict(), {"kind": "x"}]) \
+                .encode("utf-8")
+            req = urllib.request.Request(
+                url + "/v1/jobs", data=body, method="POST",
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            assert excinfo.value.code == 400
+            doc = ErrorDocument.from_json(
+                excinfo.value.read().decode("utf-8"))
+            assert doc.field == "requests[1]"
+            assert doc.code == "config_error"
+
+    def test_unknown_endpoint_is_structured_404(self):
+        with local_service(workers=1) as (url, _service):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url + "/v2/nope", timeout=30)
+            assert excinfo.value.code == 404
+            doc = ErrorDocument.from_json(
+                excinfo.value.read().decode("utf-8"))
+            # distinct from "not_found" so clients never confuse a
+            # typo'd URL with an evicted job
+            assert doc.code == "unknown_endpoint"
+            assert not isinstance(doc.exception(), JobNotFoundError)
+
+    def test_health_endpoint(self):
+        with local_service(workers=1) as (url, _service):
+            health = ServiceClient(url).health()
+            assert health["status"] == "ok"
+            assert health["total"] == 0
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_malformed_content_length_gets_structured_400(self):
+        import http.client
+
+        with local_service(workers=1) as (url, _service):
+            host, port = url.removeprefix("http://").split(":")
+            conn = http.client.HTTPConnection(host, int(port),
+                                              timeout=30)
+            try:
+                conn.putrequest("POST", "/v1/jobs")
+                conn.putheader("Content-Length", "abc")
+                conn.endheaders()
+                response = conn.getresponse()
+                # empty body -> JSON parse failure -> structured 400
+                # (the server also closes the unreadable connection)
+                assert response.status == 400
+                doc = ErrorDocument.from_json(
+                    response.read().decode("utf-8"))
+                assert doc.code == "config_error"
+            finally:
+                conn.close()
+
+    def test_oversized_body_refused_with_413(self):
+        import http.client
+
+        with local_service(workers=1) as (url, _service):
+            host, port = url.removeprefix("http://").split(":")
+            conn = http.client.HTTPConnection(host, int(port),
+                                              timeout=30)
+            try:
+                conn.putrequest("POST", "/v1/jobs")
+                conn.putheader("Content-Length", str(1 << 40))
+                conn.endheaders()
+                response = conn.getresponse()  # refused before any read
+                assert response.status == 413
+                doc = ErrorDocument.from_json(
+                    response.read().decode("utf-8"))
+                assert doc.code == "bad_request"
+                assert "too large" in doc.message
+            finally:
+                conn.close()
+
+    def test_remote_result_fetch_is_single_round_trip(self,
+                                                      tiny_scenario,
+                                                      small_budget):
+        """RemoteJob.result polls the result endpoint itself, so the
+        response that reports completion IS the result -- no gap for a
+        retain cap to evict it in (mirrors JobHandle's completion
+        slot)."""
+        request = request_for(tiny_scenario, small_budget, "standalone")
+        with local_service(workers=1) as (url, _service):
+            client = ServiceClient(url)
+            result = client.submit(request).result(timeout=300)
+            assert result.metrics.latency_s > 0

@@ -1,0 +1,173 @@
+"""Job value objects: state machine, event monotonicity, wire forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ErrorDocument, ScheduleRequest
+from repro.errors import (
+    ConfigError,
+    DataflowError,
+    HardwareError,
+    ReproError,
+    SchedulingError,
+    SearchError,
+    ServiceError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobEvent,
+    JobRecord,
+)
+
+REQUEST = ScheduleRequest(scenario_id=1, policy="standalone")
+
+
+def _record(**kwargs) -> JobRecord:
+    return JobRecord(job_id="job-000001", request=REQUEST, **kwargs)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        record = _record().transition(RUNNING, queue_s=0.5)
+        record = record.transition(DONE, run_s=1.5)
+        assert record.state == DONE
+        assert record.terminal
+        assert record.queue_s == 0.5 and record.run_s == 1.5
+        assert [e.state for e in record.events] == [RUNNING, DONE]
+
+    @pytest.mark.parametrize("state", [DONE, FAILED])
+    def test_queued_cannot_skip_running(self, state):
+        with pytest.raises(ServiceError, match="illegal transition"):
+            _record().transition(state)
+
+    def test_cancel_from_queued_and_running(self):
+        assert _record().transition(CANCELLED).state == CANCELLED
+        assert _record().transition(RUNNING) \
+            .transition(CANCELLED).state == CANCELLED
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_final(self, terminal):
+        if terminal == CANCELLED:
+            record = _record().transition(CANCELLED)
+        else:
+            record = _record().transition(RUNNING).transition(
+                terminal, error=ErrorDocument(code="search_error",
+                                              message="x")
+                if terminal == FAILED else None)
+        for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED):
+            with pytest.raises(ServiceError):
+                record.transition(state)
+
+    def test_transition_preserves_earlier_timings(self):
+        record = _record().transition(RUNNING, queue_s=0.25)
+        record = record.transition(DONE, run_s=2.0)
+        assert record.queue_s == 0.25
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ConfigError, match="unknown job state"):
+            _record(state="EXPLODED")
+
+
+class TestEventMonotonicity:
+    def test_seq_strictly_increases_across_transitions(self):
+        record = _record().transition(RUNNING).transition(DONE)
+        seqs = [e.seq for e in record.events]
+        assert seqs == sorted(set(seqs))
+
+    def test_non_monotonic_events_rejected(self):
+        events = (JobEvent(seq=1, state=QUEUED),
+                  JobEvent(seq=1, state=RUNNING))
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            _record(events=events)
+
+
+class TestJobWire:
+    def _full_record(self) -> JobRecord:
+        record = _record(priority=3,
+                         events=(JobEvent(seq=0, state=QUEUED),))
+        record = record.transition(RUNNING, queue_s=0.125)
+        return record.transition(
+            FAILED, note="boom", run_s=1.75,
+            error=ErrorDocument(code="search_error", message="no space",
+                                field="budget"))
+
+    def test_round_trip_exact(self):
+        for record in (_record(), self._full_record()):
+            assert JobRecord.from_dict(record.to_dict()) == record
+            assert JobRecord.from_json(record.to_json()) == record
+
+    def test_envelope_checked(self):
+        data = self._full_record().to_dict()
+        with pytest.raises(ConfigError, match="kind"):
+            JobRecord.from_dict({**data, "kind": "schedule_request"})
+        with pytest.raises(ConfigError, match="version"):
+            JobRecord.from_dict({**data, "version": 99})
+        with pytest.raises(ConfigError, match="malformed"):
+            JobRecord.from_dict({"kind": "job", "version": 1})
+
+    def test_event_round_trip(self):
+        event = JobEvent(seq=4, state=RUNNING, note="started")
+        assert JobEvent.from_dict(event.to_dict()) == event
+
+
+class TestErrorDocument:
+    @pytest.mark.parametrize("exc,code", [
+        (WorkloadError("w"), "workload_error"),
+        (HardwareError("h"), "hardware_error"),
+        (DataflowError("d"), "dataflow_error"),
+        (SchedulingError("s"), "scheduling_error"),
+        (ValidationError("v"), "validation_error"),
+        (SearchError("s"), "search_error"),
+        (ConfigError("c"), "config_error"),
+        (ServiceError("s"), "service_error"),
+        (ReproError("r"), "repro_error"),
+    ])
+    def test_exception_to_code(self, exc, code):
+        doc = ErrorDocument.from_exception(exc)
+        assert doc.code == code
+        assert doc.message == str(exc)
+        # ...and back to the same exception type
+        assert type(doc.exception()) is type(exc)
+
+    def test_most_derived_class_wins(self):
+        # ValidationError is a SchedulingError; the tighter code wins.
+        assert ErrorDocument.from_exception(
+            ValidationError("x")).code == "validation_error"
+
+    def test_non_repro_exception_is_internal(self):
+        doc = ErrorDocument.from_exception(ValueError("surprise"))
+        assert doc.code == "internal_error"
+        assert "ValueError" in doc.message
+        assert isinstance(doc.exception(), ReproError)
+
+    def test_service_condition_codes_map_to_service_error(self):
+        for code in ("job_not_done", "job_cancelled", "not_found"):
+            assert isinstance(ErrorDocument(code=code, message="m")
+                              .exception(), ServiceError)
+
+    def test_exception_carries_the_wire_code(self):
+        exc = ErrorDocument(code="job_not_done", message="m").exception()
+        assert exc.code == "job_not_done"
+        assert ErrorDocument.from_exception(
+            WorkloadError("w")).exception().code == "workload_error"
+
+    def test_round_trip_with_field(self):
+        doc = ErrorDocument(code="config_error", message="bad entry",
+                            field="requests[2]")
+        assert ErrorDocument.from_dict(doc.to_dict()) == doc
+        assert ErrorDocument.from_json(doc.to_json()) == doc
+
+    def test_envelope_checked(self):
+        with pytest.raises(ConfigError, match="kind"):
+            ErrorDocument.from_dict({"kind": "job", "version": 1})
+        with pytest.raises(ConfigError, match="version"):
+            ErrorDocument.from_dict({"kind": "error", "version": 0,
+                                     "code": "c", "message": "m"})

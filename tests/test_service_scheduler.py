@@ -1,0 +1,322 @@
+"""SchedulerService: parity with Session.submit, lifecycle, perf stats."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ScheduleRequest, Session
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    ServiceError,
+    WorkloadError,
+)
+from repro.perf import TimingSummary
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    SchedulerService,
+)
+from service_helpers import (
+    POLICIES,
+    assert_equivalent,
+    gated_registry,
+    request_for,
+)
+
+
+class TestParity:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_every_policy_matches_session_submit(self, tiny_scenario,
+                                                 small_budget, workers):
+        requests = [request_for(tiny_scenario, small_budget, policy)
+                    for policy in POLICIES]
+        reference = [Session().submit(r) for r in requests]
+        with SchedulerService(workers=workers) as service:
+            handles = service.submit_many(requests)
+            results = [h.result(timeout=600) for h in handles]
+        for got, want in zip(results, reference):
+            assert_equivalent(got, want)
+
+    def test_parity_survives_lru_eviction(self, tiny_scenario,
+                                          small_budget):
+        """A job re-run after its memo entry was evicted is bit-equal."""
+        a = request_for(tiny_scenario, small_budget, "standalone")
+        b = request_for(tiny_scenario, small_budget, "nn_baton")
+        with SchedulerService(Session(max_memo=1),
+                              workers=1) as service:
+            first = service.submit(a).result(timeout=300)
+            service.submit(b).result(timeout=300)  # evicts a
+            again = service.submit(a).result(timeout=300)
+        assert first is not again  # recomputed, not served from memo
+        assert_equivalent(first, again)
+
+    def test_jobs_share_the_session_memo(self, tiny_scenario,
+                                         small_budget):
+        request = request_for(tiny_scenario, small_budget, "standalone")
+        with SchedulerService(workers=1) as service:
+            first = service.submit(request).result(timeout=300)
+            second = service.submit(request).result(timeout=300)
+        assert second is first  # same memo entry as Session.submit
+
+
+class TestLifecycle:
+    @pytest.fixture
+    def gated_service(self, tiny_scenario, small_budget):
+        """A 1-worker service over the shared event-gated policy, making
+        queue occupancy deterministic for cancellation tests."""
+        registry, started, release, order = gated_registry()
+        service = SchedulerService(Session(registry), workers=1)
+        gated = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="gated",
+            budget=small_budget, nsplits=1)
+        yield service, gated, started, release, order
+        release.set()
+        service.close()
+
+    def test_cancel_queued_job(self, gated_service):
+        service, gated, started, release, order = gated_service
+        running = service.submit(gated)
+        assert started.wait(timeout=60)
+        queued = service.submit(gated.replace(prov_limit=63))
+        record = queued.cancel()
+        assert record.state == CANCELLED
+        assert record.queue_s is not None and record.run_s is None
+        with pytest.raises(ServiceError, match="cancelled"):
+            service.result(queued.job_id)
+        release.set()
+        assert running.result(timeout=300).metrics.latency_s > 0
+
+    def test_cancel_running_job_is_cooperative(self, gated_service):
+        service, gated, started, release, order = gated_service
+        handle = service.submit(gated)
+        assert started.wait(timeout=60)
+        record = handle.cancel()
+        assert record.state == RUNNING  # flag only; still running
+        release.set()
+        final = handle.wait(timeout=300)
+        assert final.state == CANCELLED
+        assert final.run_s is not None
+        with pytest.raises(ServiceError, match="cancelled"):
+            handle.result()
+
+    def test_cancel_is_idempotent_on_terminal_jobs(self, gated_service):
+        service, gated, started, release, order = gated_service
+        handle = service.submit(gated)
+        release.set()
+        handle.wait(timeout=300)
+        assert handle.cancel().state == DONE  # no-op, record unchanged
+
+    def test_priority_orders_the_backlog(self, gated_service):
+        service, gated, started, release, order = gated_service
+        service.submit(gated.replace(prov_limit=10))  # occupies worker
+        assert started.wait(timeout=60)
+        service.submit(gated.replace(prov_limit=30), priority=5)
+        service.submit(gated.replace(prov_limit=20), priority=1)
+        last = service.submit(gated.replace(prov_limit=40), priority=9)
+        release.set()
+        last.wait(timeout=300)
+        assert order == [10, 20, 30, 40]  # backlog ran by priority
+
+    def test_failed_job_carries_error_document(self, small_budget):
+        bad = ScheduleRequest(scenario_id=99, policy="standalone",
+                              budget=small_budget, nsplits=1)
+        with SchedulerService(workers=1) as service:
+            handle = service.submit(bad)
+            record = handle.wait(timeout=300)
+            assert record.state == FAILED
+            assert record.error is not None
+            assert record.error.code == "workload_error"
+            with pytest.raises(WorkloadError, match="unknown scenario"):
+                handle.result()
+
+    def test_submit_after_close_rejected(self, tiny_scenario,
+                                         small_budget):
+        service = SchedulerService(workers=1)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.submit(request_for(tiny_scenario, small_budget,
+                                       "standalone"))
+
+    def test_batch_after_close_queues_nothing(self, tiny_scenario,
+                                              small_budget):
+        """Batches are all-or-nothing against shutdown."""
+        service = SchedulerService(workers=1)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.submit_many([
+                request_for(tiny_scenario, small_budget, "standalone"),
+                request_for(tiny_scenario, small_budget, "nn_baton"),
+            ])
+        assert service.jobs() == []
+
+    def test_close_drains_queued_jobs(self, tiny_scenario, small_budget):
+        service = SchedulerService(workers=1)
+        handles = service.submit_many([
+            request_for(tiny_scenario, small_budget, "standalone"),
+            request_for(tiny_scenario, small_budget, "nn_baton"),
+        ])
+        service.close()  # drains, then joins
+        assert all(h.record().state == DONE for h in handles)
+
+    def test_unknown_job_id_rejected(self):
+        with SchedulerService(workers=1) as service:
+            with pytest.raises(JobNotFoundError, match="unknown job id"):
+                service.job("job-999999")
+
+    def test_retain_evicts_oldest_terminal_jobs(self, tiny_scenario,
+                                                small_budget):
+        requests = [
+            request_for(tiny_scenario, small_budget, "standalone"),
+            request_for(tiny_scenario, small_budget, "nn_baton"),
+            request_for(tiny_scenario, small_budget, "standalone",
+                        template="simba_nvd_3x3"),
+        ]
+        with SchedulerService(workers=1, retain=1) as service:
+            handles = [service.submit(r) for r in requests]
+            # One worker runs FIFO: when the last job is terminal, the
+            # earlier ones were, too (and were evicted past the cap).
+            handles[-1].wait(timeout=300)
+            # Only the newest terminal job survives.
+            assert [r.job_id for r in service.jobs()] == \
+                [handles[-1].job_id]
+            assert handles[-1].result().metrics.latency_s > 0
+            with pytest.raises(JobNotFoundError):
+                service.job(handles[0].job_id)  # by-id access is gone
+            # the open handle still knows its final state
+            assert handles[0].record().state == DONE
+
+    def test_retain_never_evicts_live_jobs(self, gated_service):
+        service, gated, started, release, order = gated_service
+        service.retain = 1  # tighten the cap on the fixture's service
+        running = service.submit(gated)
+        assert started.wait(timeout=60)
+        cancelled = service.submit(gated.replace(prov_limit=63))
+        cancelled.cancel()  # one terminal job: exactly at the cap
+        # the RUNNING job is untouchable regardless of the cap
+        assert running.job_id in {r.job_id for r in service.jobs()}
+        release.set()
+        # on completion the DONE job is newest; the cancelled one goes
+        assert running.result(timeout=300).metrics.latency_s > 0
+        with pytest.raises(JobNotFoundError):
+            service.job(cancelled.job_id)  # by-id access is gone
+        assert cancelled.record().state == CANCELLED  # handle fallback
+
+    def test_bad_retain_rejected(self):
+        with pytest.raises(ConfigError, match="retain"):
+            SchedulerService(workers=1, retain=0)
+
+    def test_eviction_prefers_retrieved_results(self, tiny_scenario,
+                                                small_budget):
+        """An already-fetched result is sacrificed before an unfetched
+        one, even when the unfetched job is older."""
+        a = request_for(tiny_scenario, small_budget, "standalone")
+        b = request_for(tiny_scenario, small_budget, "nn_baton")
+        c = request_for(tiny_scenario, small_budget, "standalone",
+                        template="simba_nvd_3x3")
+        with SchedulerService(workers=1, retain=2) as service:
+            ha = service.submit(a)
+            ha.wait(timeout=300)  # a terminal, NOT retrieved by id
+            hb = service.submit(b)
+            hb.wait(timeout=300)
+            service.result(hb.job_id)  # b retrieved
+            service.submit(c).result(timeout=300)  # over cap: evict b
+            remaining = {r.job_id for r in service.jobs()}
+            assert ha.job_id in remaining  # unretrieved a survived
+            assert hb.job_id not in remaining
+            assert service.result(ha.job_id).metrics.latency_s > 0
+
+    def test_handle_result_survives_eviction(self, tiny_scenario,
+                                             small_budget):
+        """An open handle never loses its result to the retain cap."""
+        a = request_for(tiny_scenario, small_budget, "standalone")
+        b = request_for(tiny_scenario, small_budget, "nn_baton")
+        with SchedulerService(workers=1, retain=1) as service:
+            first = service.submit(a)
+            second = service.submit(b)
+            second.wait(timeout=300)  # finishing b evicts a's record
+            with pytest.raises(JobNotFoundError):
+                service.result(first.job_id)  # by-id: window semantics
+            # ...but the handle kept its completion slot
+            assert first.result(timeout=300).metrics.latency_s > 0
+            assert first.record().state == DONE
+
+    def test_close_cancel_pending_skips_the_backlog(self, gated_service):
+        """Prompt shutdown (the `scar serve` Ctrl-C path): queued jobs
+        cancel instead of draining; the running one still finishes."""
+        service, gated, started, release, order = gated_service
+        running = service.submit(gated)
+        assert started.wait(timeout=60)
+        backlog = [service.submit(gated.replace(prov_limit=63 - i))
+                   for i in range(3)]
+        # Close while the worker is still gated: the backlog cancels
+        # before it could ever be popped, with no race on release.
+        closer = threading.Thread(
+            target=lambda: service.close(cancel_pending=True))
+        closer.start()
+        for handle in backlog:
+            assert handle.wait(timeout=60).state == CANCELLED
+        release.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert running.record().state == DONE
+        assert order == [64]  # the backlog never ran
+
+    def test_wait_timeout_raises(self, gated_service):
+        service, gated, started, release, order = gated_service
+        handle = service.submit(gated)
+        with pytest.raises(ServiceError, match="still"):
+            handle.wait(timeout=0.05)
+        release.set()
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            SchedulerService(workers=0)
+
+
+class TestPerfSummary:
+    def test_counts_states_and_aggregates_timings(self, tiny_scenario,
+                                                  small_budget):
+        good = request_for(tiny_scenario, small_budget, "scar")
+        bad = ScheduleRequest(scenario_id=99, policy="standalone",
+                              budget=small_budget, nsplits=1)
+        with SchedulerService(workers=2) as service:
+            for handle in service.submit_many([good, bad]):
+                handle.wait(timeout=600)
+            summary = service.perf_summary()
+        assert summary["jobs"]["total"] == 2
+        assert summary["jobs"][DONE] == 1
+        assert summary["jobs"][FAILED] == 1
+        assert summary["queue"]["count"] == 2
+        assert summary["run"]["count"] == 2
+        assert summary["run"]["total_s"] > 0
+        # the SCAR run's perf report landed in the wrapped session
+        assert summary["session"]["num_evaluated"] > 0
+
+
+class TestTimingSummary:
+    def test_accumulates(self):
+        summary = TimingSummary.from_samples([1.0, 3.0, 2.0])
+        assert summary.count == 3
+        assert summary.total_s == 6.0
+        assert summary.mean_s == 2.0
+        assert summary.max_s == 3.0
+
+    def test_empty(self):
+        summary = TimingSummary()
+        assert summary.mean_s == 0.0
+        assert summary.to_dict() == {"count": 0, "total_s": 0.0,
+                                     "mean_s": 0.0, "max_s": 0.0}
+
+    def test_merge_is_associative(self):
+        a = TimingSummary.from_samples([1.0, 2.0])
+        b = TimingSummary.from_samples([4.0])
+        c = TimingSummary.from_samples([0.5, 3.0])
+        merged = a.merge(b).merge(c)
+        assert merged == a.merge(b.merge(c))
+        assert merged == TimingSummary.from_samples(
+            [1.0, 2.0, 4.0, 0.5, 3.0])
