@@ -17,8 +17,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import api, core, dataflow, mcm, perf, workloads
+from repro import api, core, dataflow, engine, mcm, perf, workloads
 from repro.errors import ReproError
 
-__all__ = ["ReproError", "api", "core", "dataflow", "mcm", "perf",
-           "workloads", "__version__"]
+__all__ = ["ReproError", "api", "core", "dataflow", "engine", "mcm",
+           "perf", "workloads", "__version__"]

@@ -50,6 +50,8 @@ def _run_scar(ctx: PolicyContext, seg_search: str) -> PolicyOutcome:
         seg_search=seg_search,
         prov_limit=request.prov_limit,
         jobs=request.jobs,
+        backend=ctx.effective_backend(),
+        beam=request.beam,
         use_cache=request.use_eval_cache,
     )
     result = scheduler.schedule(ctx.scenario)

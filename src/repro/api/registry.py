@@ -35,12 +35,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class PolicyContext:
-    """Everything a policy needs to run one request."""
+    """Everything a policy needs to run one request.
+
+    ``default_backend`` is the session's engine execution backend,
+    applied when the request leaves ``backend=None`` (see
+    :mod:`repro.engine.backends`); policies that do not search (the
+    baselines) ignore it.
+    """
 
     request: "ScheduleRequest"
     scenario: Scenario
     mcm: MCM
     database: LayerCostDatabase
+    default_backend: str | None = None
+
+    def effective_backend(self) -> str | None:
+        """The backend this run should use (request wins over session)."""
+        return self.request.backend or self.default_backend
 
 
 @dataclass(frozen=True)

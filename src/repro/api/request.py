@@ -38,8 +38,10 @@ from repro.config.files import (
 )
 from repro.core.budget import SearchBudget
 from repro.core.metrics import ScheduleMetrics
-from repro.core.scar import SCARResult, assemble_candidate_points
+from repro.core.scar import SCARResult
 from repro.core.schedule import Schedule
+from repro.engine.backends import backend_names
+from repro.engine.candidates import assemble_candidate_points
 from repro.core.scoring import Objective, objective_by_name
 from repro.errors import ConfigError
 from repro.perf import PerfReport
@@ -89,6 +91,16 @@ class ScheduleRequest:
     result memo.  Both participate in :meth:`cache_key` -- together with
     ``jobs`` -- so runs with different caching/parallelism settings can
     never alias to one memo entry.
+
+    ``backend`` names the engine execution backend (``"serial"`` /
+    ``"process"`` / a plugin registered via
+    :func:`repro.engine.register_backend`); ``None`` defers to the
+    session's default, falling back to the historical ``jobs`` inference
+    (1 = serial, >1 = process pool).  ``beam`` is the
+    :class:`~repro.engine.WindowSearch` beam width; ``None`` (default)
+    is the paper's exhaustive search.  Both are bit-identity-preserving
+    for ``backend`` and behaviour-changing for ``beam`` -- which is why
+    both participate in :meth:`cache_key`.
     """
 
     scenario_id: int | None = None
@@ -105,6 +117,8 @@ class ScheduleRequest:
     max_nodes_per_model: int | None = None
     seg_search: str = "enumerative"
     jobs: int = 1
+    backend: str | None = None
+    beam: int | None = None
     use_eval_cache: bool = True
     memoize: bool = True
 
@@ -116,6 +130,13 @@ class ScheduleRequest:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
         if self.nsplits < 0:
             raise ConfigError(f"nsplits must be >= 0, got {self.nsplits}")
+        if self.backend is not None and self.backend not in backend_names():
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"registered: {backend_names()}")
+        if self.beam is not None and self.beam < 1:
+            raise ConfigError(
+                f"beam must be None or >= 1, got {self.beam}")
         objective_by_name(self.objective)  # validates the name
 
     def __hash__(self) -> int:
@@ -174,6 +195,8 @@ class ScheduleRequest:
             "max_nodes_per_model": self.max_nodes_per_model,
             "seg_search": self.seg_search,
             "jobs": self.jobs,
+            "backend": self.backend,
+            "beam": self.beam,
             "use_eval_cache": self.use_eval_cache,
             "memoize": self.memoize,
         }
@@ -198,6 +221,8 @@ class ScheduleRequest:
                 max_nodes_per_model=data.get("max_nodes_per_model"),
                 seg_search=data["seg_search"],
                 jobs=data["jobs"],
+                backend=data.get("backend"),
+                beam=data.get("beam"),
                 use_eval_cache=data["use_eval_cache"],
                 memoize=data["memoize"],
             )
@@ -287,15 +312,13 @@ class ScheduleResult:
 
         Same construction as
         :meth:`repro.core.scar.SCARResult.candidate_points` (one shared
-        helper): same-rank window candidates combine across windows;
-        policies without a candidate population contribute their single
-        schedule point.
+        helper in :mod:`repro.engine.candidates`): same-rank window
+        candidates combine across windows; policies without a candidate
+        population contribute their single schedule point.
         """
         return assemble_candidate_points(
             self.window_candidates,
-            fallback=(self.metrics.latency_s, self.metrics.energy_j),
-            score=lambda c: c.score,
-            point=lambda c: (c.latency_s, c.energy_j))
+            fallback=(self.metrics.latency_s, self.metrics.energy_j))
 
     # -- wire format -------------------------------------------------------
 

@@ -40,6 +40,7 @@ from repro.api.registry import (
 from repro.api.request import ScheduleRequest, ScheduleResult
 from repro.api.wire import CandidatePoint
 from repro.dataflow.database import LayerCostDatabase
+from repro.engine.backends import backend_names
 from repro.errors import ConfigError
 from repro.mcm import templates
 from repro.perf import PerfReport, aggregate_reports
@@ -70,16 +71,31 @@ class Session:
     is lock-protected, so concurrent ``submit`` calls from the service's
     worker threads are safe; two threads racing on the same cache key at
     worst compute the same bit-identical result twice.
+
+    ``backend`` selects the engine execution backend (``"serial"`` /
+    ``"process"`` / a plugin, see :mod:`repro.engine.backends`) for
+    every request that leaves ``ScheduleRequest.backend=None`` -- the
+    backend is a deployment concern (how this session's host wants to
+    spend cores), so it lives on the session rather than on each
+    scheduler.  Backends are bit-identical by contract, so the memo key
+    (which covers the *request's* ``backend`` field only) stays valid
+    across session backends.
     """
 
     def __init__(self, registry: SchedulerRegistry | None = None, *,
-                 max_memo: int | None = None) -> None:
+                 max_memo: int | None = None,
+                 backend: str | None = None) -> None:
         if max_memo is not None and max_memo < 0:
             raise ConfigError(
                 f"max_memo must be None or >= 0, got {max_memo}")
+        if backend is not None and backend not in backend_names():
+            raise ConfigError(
+                f"unknown backend {backend!r}; "
+                f"registered: {backend_names()}")
         self.registry = registry if registry is not None \
             else DEFAULT_REGISTRY
         self.max_memo = max_memo
+        self.backend = backend
         self._memo: OrderedDict[str, ScheduleResult] = OrderedDict()
         self._databases: dict[float, LayerCostDatabase] = {}
         self._scenarios: OrderedDict[str, Scenario] = OrderedDict()
@@ -149,7 +165,8 @@ class Session:
         scenario = self._scenario(request)
         mcm = templates.build(request.template, scenario.use_case)
         ctx = PolicyContext(request=request, scenario=scenario, mcm=mcm,
-                            database=self._database(mcm.clock_hz))
+                            database=self._database(mcm.clock_hz),
+                            default_backend=self.backend)
         outcome = self.registry.run(ctx)
         result = self._wrap(request, outcome)
         if result.perf is not None:
@@ -183,7 +200,12 @@ class Session:
 
         A non-default registry must be picklable (module-level policy
         functions) to cross into spawned workers; on fork-based
-        platforms it is inherited either way.
+        platforms it is inherited either way.  The same applies to
+        plugin execution backends: a session default naming a backend
+        registered via :func:`repro.engine.register_backend` reaches
+        spawned workers only if the registering module is imported at
+        worker startup (fork inherits the registration either way; the
+        built-in ``serial``/``process`` backends always resolve).
         """
         requests = list(requests)
         if jobs < 1:
@@ -212,7 +234,8 @@ class Session:
                 else self.registry
             with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_batch_worker_init,
-                                     initargs=(registry,)) as pool:
+                                     initargs=(registry,
+                                               self.backend)) as pool:
                 fanned = list(pool.map(
                     _batch_worker_run,
                     [requests[indices[0]] for indices in pending.values()]))
@@ -268,9 +291,10 @@ class Session:
 _WORKER_SESSION: Session | None = None
 
 
-def _batch_worker_init(registry: SchedulerRegistry | None) -> None:
+def _batch_worker_init(registry: SchedulerRegistry | None,
+                       backend: str | None = None) -> None:
     global _WORKER_SESSION
-    _WORKER_SESSION = Session(registry)
+    _WORKER_SESSION = Session(registry, backend=backend)
 
 
 def _batch_worker_run(request: ScheduleRequest) -> ScheduleResult:

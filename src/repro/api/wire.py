@@ -173,8 +173,11 @@ def perf_from_dict(data: dict[str, Any]) -> PerfReport:
             num_windows=data["num_windows"],
             jobs=data["jobs"],
             cache={table: CacheStats(hits=entry["hits"],
-                                     misses=entry["misses"])
+                                     misses=entry["misses"],
+                                     evictions=entry.get("evictions", 0))
                    for table, entry in data.get("cache", {}).items()},
+            num_segments=data.get("num_segments", 0),
+            num_segments_recosted=data.get("num_segments_recosted", 0),
         )
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed perf report: {exc}") from exc

@@ -21,8 +21,11 @@ DESIGN.md "The repro.service layer") until interrupted.
 ``--fast`` uses the CI budget (seconds-to-minutes); the default budget
 matches the paper's settings and can take several minutes per experiment.
 ``--jobs N`` fans the window search over N worker processes (bit-identical
-results); ``--perf-stats`` prints evaluation-throughput and cache-hit
-statistics after the run (see DESIGN.md, "Evaluation acceleration").
+results); ``--backend`` picks the engine execution backend explicitly and
+``--beam K`` narrows the window search to the K best segmentation combos
+(default: exhaustive, the paper's exact behaviour -- see DESIGN.md, "The
+search engine layer").  ``--perf-stats`` prints evaluation-throughput,
+delta-evaluation and cache-hit statistics after the run.
 """
 
 from __future__ import annotations
@@ -92,7 +95,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         request = ScheduleRequest(
             scenario_id=args.scenario, template=args.template,
             policy=args.policy, objective=args.objective,
-            nsplits=config.nsplits, budget=config.budget, jobs=args.jobs)
+            nsplits=config.nsplits, budget=config.budget, jobs=args.jobs,
+            backend=args.backend, beam=args.beam)
         result = Session().submit(request)
     except ReproError as exc:
         return _report_error(exc, args.format)
@@ -134,7 +138,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Session
     from repro.service import SchedulerService, ServiceServer
 
-    service = SchedulerService(Session(max_memo=args.max_memo),
+    service = SchedulerService(Session(max_memo=args.max_memo,
+                                       backend=args.backend),
                                workers=args.workers,
                                retain=args.retain)
     try:
@@ -186,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "repro.api JSON wire document")
     sched.add_argument("--output", default=None,
                        help="write the schedule-result JSON document here")
+    _add_engine_options(sched)
     _add_common_options(sched)
 
     serve = sub.add_parser("serve",
@@ -206,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep only the N most recent finished job "
                        "records/results; size comfortably above the "
                        "number of jobs in flight (default: unbounded)")
+    serve.add_argument("--backend", default=None,
+                       choices=_backend_choices(),
+                       help="engine execution backend for requests that "
+                       "do not pick one (default: infer from each "
+                       "request's --jobs; results are bit-identical "
+                       "across backends)")
 
     for name, (description, _) in _EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)
@@ -232,6 +244,27 @@ def _int_at_least(minimum: int, what: str):
 
 _positive_int = _int_at_least(1, "a positive integer")
 _nonnegative_int = _int_at_least(0, "an integer")
+
+
+def _backend_choices() -> tuple[str, ...]:
+    from repro.engine import backend_names
+
+    return backend_names()
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Search-engine knobs (the ``schedule`` command only)."""
+    parser.add_argument("--backend", default=None,
+                        choices=_backend_choices(),
+                        help="engine execution backend (default: infer "
+                        "from --jobs; results are bit-identical across "
+                        "backends)")
+    parser.add_argument("--beam", type=_positive_int, default=None,
+                        metavar="K",
+                        help="beam width for the window search: keep "
+                        "only the K best proxy-scored segmentation "
+                        "combos (default: exhaustive search, the "
+                        "paper's exact behaviour)")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.metrics import ScheduleEvaluator, ScheduleMetrics
+from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule, Segment, WindowSchedule
 from repro.dataflow.database import LayerCostDatabase
+from repro.engine.evaluator import CandidateEvaluator
 from repro.errors import SchedulingError
 from repro.mcm.package import MCM
 from repro.workloads.model import Scenario
@@ -57,7 +58,7 @@ class StandaloneScheduler:
             chains.append((segment,))
         schedule = Schedule(windows=(
             WindowSchedule(index=0, chains=tuple(chains)),))
-        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database)
+        evaluator = CandidateEvaluator(scenario, self.mcm, self.database)
         return BaselineResult(schedule=schedule,
                               metrics=evaluator.evaluate(schedule))
 
@@ -85,6 +86,6 @@ class NNBatonScheduler:
             windows.append(WindowSchedule(index=model,
                                           chains=((segment,),)))
         schedule = Schedule(windows=tuple(windows))
-        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database)
+        evaluator = CandidateEvaluator(scenario, self.mcm, self.database)
         return BaselineResult(schedule=schedule,
                               metrics=evaluator.evaluate(schedule))

@@ -13,7 +13,7 @@ weight streaming).  Two segments with equal place keys are bit-identical
 in cost, so the cache can serve a segment evaluated on node 3 when the
 search later tries node 5 of the same class.
 
-Three memo tables live here (hit/miss counters per table, surfaced via
+Four memo tables live here (hit/miss counters per table, surfaced via
 :mod:`repro.perf`):
 
 ``compute``   (model, start, stop, place_key, minibatch) -> (lat_s, j)
@@ -22,9 +22,20 @@ Three memo tables live here (hit/miss counters per table, surfaced via
               rounds change shape); the pipelining tile factor is applied
               *after* lookup as ``var/tile + fix`` -- see DESIGN.md.
 ``static``    (model, start, stop, place_key) -> weight/residency terms.
+``chain``     (chain structure, relevant congestion factors) -> one
+              model's :class:`~repro.core.metrics.ModelWindowMetrics`;
+              the delta-evaluation fast path of
+              :class:`repro.engine.CandidateEvaluator` serves chains
+              whose cut boundaries did not move from here.
 ``window``    canonical window structure -> :class:`WindowMetrics`;
               serves duplicate placements and the final re-evaluation of
               the winning schedule.
+
+Every table is **LRU-bounded** (``max_entries`` per table, default
+:data:`DEFAULT_MAX_ENTRIES`); long service sessions therefore hold cache
+memory constant, and evicted entries simply recompute bit-identically on
+the next lookup.  Eviction counts ride along in the per-table
+:class:`~repro.perf.CacheStats` and surface through :meth:`snapshot`.
 
 A cache instance is only valid for one (scenario, MCM) pair -- keys do
 not include workload or package identity.  ``EvalCache(enabled=False)``
@@ -34,6 +45,7 @@ prove cached == uncached).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.perf import CacheStats
@@ -41,19 +53,34 @@ from repro.perf import CacheStats
 SegmentKey = tuple
 """(model, start, stop, chiplet class_key, io_hops)."""
 
+#: Default per-table LRU cap.  Generous enough that single paper-scale
+#: runs effectively never evict, small enough that a long-running job
+#: service cannot grow per-run caches without bound.
+DEFAULT_MAX_ENTRIES = 65536
+
 
 class EvalCache:
-    """Hit-counting memo tables shared by one evaluator.
+    """Hit-counting, LRU-bounded memo tables shared by one evaluator.
 
     ``lookup(table, key, factory)`` returns the cached value or computes,
     stores and returns ``factory()``.  Unknown table names create a new
     table on first use, so auxiliary memos (e.g. the GA fitness cache)
     can report through the same stats channel via :meth:`record`.
+
+    ``max_entries`` bounds every table with least-recently-used
+    eviction; ``None`` restores the unbounded legacy behaviour.
+    Eviction never changes results -- entries are pure functions of
+    their keys -- it only trades recomputation for memory.
     """
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True,
+                 max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be None or >= 1, got {max_entries}")
         self.enabled = enabled
-        self._tables: dict[str, dict[Any, Any]] = {}
+        self.max_entries = max_entries
+        self._tables: dict[str, OrderedDict[Any, Any]] = {}
         self.stats: dict[str, CacheStats] = {}
 
     def _stats(self, table: str) -> CacheStats:
@@ -68,12 +95,18 @@ class EvalCache:
         if not self.enabled:
             stats.record(hit=False)
             return factory()
-        store = self._tables.setdefault(table, {})
+        store = self._tables.setdefault(table, OrderedDict())
         if key in store:
             stats.record(hit=True)
+            store.move_to_end(key)  # LRU touch
             return store[key]
         stats.record(hit=False)
-        store[key] = value = factory()
+        value = factory()
+        store[key] = value
+        if self.max_entries is not None:
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+                stats.evictions += 1
         return value
 
     def record(self, table: str, hit: bool) -> None:
@@ -85,7 +118,8 @@ class EvalCache:
 
     def snapshot(self) -> dict[str, CacheStats]:
         """Copy of the per-table counters (for cross-process merging)."""
-        return {table: CacheStats(hits=s.hits, misses=s.misses)
+        return {table: CacheStats(hits=s.hits, misses=s.misses,
+                                  evictions=s.evictions)
                 for table, s in self.stats.items()}
 
 

@@ -82,7 +82,8 @@ class EvolutionarySegSearch:
     def __init__(self, window: WindowAssignment, alloc: dict[int, int],
                  evaluator: ScheduleEvaluator, objective: Objective,
                  budget: SearchBudget, config: GAConfig | None = None,
-                 seeds: dict[int, list[Cuts]] | None = None) -> None:
+                 seeds: dict[int, list[Cuts]] | None = None,
+                 window_search=None) -> None:
         self.window = window
         self.alloc = alloc
         self.evaluator = evaluator
@@ -90,6 +91,11 @@ class EvolutionarySegSearch:
         self.budget = budget
         self.config = config or GAConfig()
         self.seeds = seeds or {}
+        #: Per-window SCHED strategy; ``None`` keeps the plain exhaustive
+        #: kernel (bit-identical to an engine-layer
+        #: ``WindowSearch(beam=None)``, see :mod:`repro.engine.search`).
+        self._search = window_search.run if window_search is not None \
+            else search_window
         self.rng = random.Random(budget.seed + 104729 * window.index)
         evals = self.config.population_size * (self.config.generations + 1)
         self._fitness_budget = budget.fitness_slice(evals)
@@ -157,9 +163,9 @@ class EvolutionarySegSearch:
         ranked = {m: [RankedSegmentation(cuts=cuts, score=0.0)]
                   for m, cuts in individual.items()}
         try:
-            candidate = search_window(self.window, ranked, self.evaluator,
-                                      self.objective, self._fitness_budget,
-                                      collect=self.evaluated)
+            candidate = self._search(self.window, ranked, self.evaluator,
+                                     self.objective, self._fitness_budget,
+                                     collect=self.evaluated)
         except SearchError:
             return float("inf"), None
         self._cache[key] = candidate

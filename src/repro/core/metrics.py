@@ -187,11 +187,24 @@ class ScheduleEvaluator:
         congestion = self._window_congestion(window)
         per_model = []
         for chain in window.chains:
-            per_model.append(self._chain_metrics(chain, congestion))
+            per_model.append(self._chain_metrics_cached(chain, congestion))
         latency = max((m.latency_s for m in per_model), default=0.0)
         energy = sum(m.energy_j for m in per_model)
         return WindowMetrics(index=window.index, latency_s=latency,
                              energy_j=energy, per_model=tuple(per_model))
+
+    def _chain_metrics_cached(self, chain: tuple[Segment, ...],
+                              congestion: dict[tuple, float]
+                              ) -> ModelWindowMetrics:
+        """Chain-costing hook: the base evaluator always recomputes.
+
+        :class:`repro.engine.CandidateEvaluator` overrides this with the
+        delta-evaluation fast path (memoize by chain structure + the
+        congestion factors the chain actually reads), which is
+        bit-identical because :meth:`_chain_metrics` is a pure function
+        of exactly those inputs.
+        """
+        return self._chain_metrics(chain, congestion)
 
     # -- layers and costs ---------------------------------------------------
 

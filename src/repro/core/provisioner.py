@@ -12,11 +12,16 @@ Two modes are provided, as in the paper:
 
 Heuristic 2 (node-allocation constraint) caps the nodes granted to models
 with disproportionately many cheap layers.
+
+Schedulers do not call these functions directly any more: the engine
+layer (:mod:`repro.engine.provisioning`) wraps them as the shared
+``window_shares`` / ``window_allocations`` plumbing every policy builds
+its task list from.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
+import math
 from typing import Iterator
 
 from repro.core.packing import WindowAssignment
@@ -53,7 +58,6 @@ def uniform_allocation(window: WindowAssignment,
     def clean(value: float) -> float:
         # Custom objectives may score inf/NaN; such shares cannot drive
         # the proportional rule and fall back to zero (floor-1 applies).
-        import math
         if not math.isfinite(value) or value < 0:
             return 0.0
         return value

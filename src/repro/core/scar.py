@@ -5,11 +5,17 @@
 1. **MCM-Reconfig** -- offline expected layer costs (Eq. 1), periodic time
    windows, greedy layer packing (Algorithm 1, or the uniform baseline).
 2. **PROV** -- per-window node allocation (Eq. 2 uniform rule, or
-   exhaustive composition enumeration).
+   exhaustive composition enumeration), via
+   :mod:`repro.engine.provisioning`.
 3. **SEG** -- top-k segmentation candidates per model (Heuristic 1), with
    the optional Heuristic-2 node-allocation constraint.
 4. **SCHED** -- scheduling-tree placement search with full cost-model
-   evaluation (or the evolutionary variant for large MCMs).
+   evaluation (or the evolutionary variant for large MCMs), executed
+   through the unified engine layer: one
+   :class:`~repro.engine.CandidateEvaluator` (delta costing + stats), a
+   :class:`~repro.engine.WindowSearch` strategy (``beam=None`` = the
+   paper's exhaustive search) and a pluggable execution backend
+   (``serial`` / ``process``).
 
 The result carries the chosen schedule, its metrics and the whole
 evaluated population, which the Pareto/top-candidate figures consume.
@@ -18,13 +24,12 @@ evaluated population, which the Pareto/top-candidate figures consume.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.budget import SearchBudget
 from repro.core.evalcache import EvalCache
 from repro.core.evolutionary import EvolutionarySegSearch, GAConfig
-from repro.core.metrics import ScheduleEvaluator, ScheduleMetrics
+from repro.core.metrics import ScheduleMetrics
 from repro.core.packing import (
     PackingPlan,
     WindowAssignment,
@@ -33,42 +38,22 @@ from repro.core.packing import (
     greedy_pack,
     uniform_pack,
 )
-from repro.core.provisioner import exhaustive_allocations, uniform_allocation
 from repro.core.schedule import Schedule
 from repro.core.scoring import Objective, edp_objective
-from repro.core.sched_engine import WindowCandidate, search_window
+from repro.core.sched_engine import WindowCandidate
 from repro.core.segmentation import RankedSegmentation, rank_segmentations
 from repro.dataflow.database import LayerCostDatabase
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.candidates import assemble_candidate_points
+from repro.engine.evaluator import CandidateEvaluator, EvaluatorStats
+from repro.engine.provisioning import window_allocations, window_shares
+from repro.engine.search import WindowSearch
 from repro.errors import SearchError
 from repro.mcm.package import MCM
-from repro.perf import CacheStats, PerfReport, log_report, merge_stats
+from repro.perf import PerfReport, log_report, merge_stats
 from repro.workloads.model import Scenario
 
-
-def assemble_candidate_points(window_candidates, *, fallback, score,
-                              point) -> list[tuple[float, float]]:
-    """(latency_s, energy_j) of assembled candidate schedules.
-
-    Candidate schedules are formed by combining same-rank window
-    candidates across windows after ranking each window by ``score``
-    (rank 0 = the chosen schedule); ``point`` extracts one candidate's
-    (latency_s, energy_j) and ``fallback`` is the single schedule point
-    used when no population was collected.  Shared by
-    :meth:`SCARResult.candidate_points` and the wire-side
-    ``repro.api.ScheduleResult.candidate_points`` so the Pareto
-    construction cannot diverge between the two.
-    """
-    if not window_candidates:
-        return [fallback]
-    ranked_per_window = [sorted(cands, key=score)
-                         for cands in window_candidates]
-    depth = min(len(r) for r in ranked_per_window)
-    points = []
-    for rank in range(depth):
-        latency = sum(point(r[rank])[0] for r in ranked_per_window)
-        energy = sum(point(r[rank])[1] for r in ranked_per_window)
-        points.append((latency, energy))
-    return points
+__all__ = ["SCARResult", "SCARScheduler", "assemble_candidate_points"]
 
 
 @dataclass(frozen=True)
@@ -83,12 +68,15 @@ class SCARResult:
     perf: PerfReport | None = None
 
     def candidate_points(self) -> list[tuple[float, float]]:
-        """See :func:`assemble_candidate_points` (Pareto figure input)."""
+        """(latency_s, energy_j) of assembled candidate schedules.
+
+        See :func:`repro.engine.candidates.assemble_candidate_points`
+        (the one Pareto construction shared with the wire-side
+        ``ScheduleResult``).
+        """
         return assemble_candidate_points(
             self.window_candidates,
-            fallback=(self.metrics.latency_s, self.metrics.energy_j),
-            score=lambda c: c.score,
-            point=lambda c: (c.metrics.latency_s, c.metrics.energy_j))
+            fallback=(self.metrics.latency_s, self.metrics.energy_j))
 
 
 class SCARScheduler:
@@ -106,9 +94,19 @@ class SCARScheduler:
     ``jobs``                 worker processes for the window search
                              (1 = serial; results are bit-identical
                              either way, see :meth:`schedule`).
+    ``backend``              execution backend name (``"serial"`` /
+                             ``"process"`` / a registered plugin);
+                             ``None`` infers from ``jobs`` exactly as the
+                             pre-backend scheduler did.
+    ``beam``                 :class:`~repro.engine.WindowSearch` beam
+                             width; ``None`` (default, used by every
+                             paper figure) = exhaustive search.
     ``use_cache``            enable the segment-cost memo (results are
                              bit-identical with it off; it only trades
                              memory for speed).
+    ``use_delta``            enable the chain-level delta-evaluation fast
+                             path (bit-identical on or off; off is only
+                             useful for measuring what it saves).
     """
 
     def __init__(self, mcm: MCM, *, objective: Objective | None = None,
@@ -119,7 +117,8 @@ class SCARScheduler:
                  seg_search: str = "enumerative",
                  ga_config: GAConfig | None = None,
                  prov_limit: int = 64, jobs: int = 1,
-                 use_cache: bool = True) -> None:
+                 backend: str | None = None, beam: int | None = None,
+                 use_cache: bool = True, use_delta: bool = True) -> None:
         if packing not in ("greedy", "uniform"):
             raise SearchError(f"unknown packing mode {packing!r}")
         if provisioning not in ("uniform", "exhaustive"):
@@ -141,6 +140,9 @@ class SCARScheduler:
         self.prov_limit = prov_limit
         self.jobs = jobs
         self.use_cache = use_cache
+        self.use_delta = use_delta
+        self.window_search = WindowSearch(beam=beam)
+        self.backend: ExecutionBackend = resolve_backend(backend, jobs)
 
     # -- public API ------------------------------------------------------------
 
@@ -148,17 +150,17 @@ class SCARScheduler:
         """Run the full SCAR search on ``scenario``.
 
         The search is decomposed into independent (window, provisioning
-        allocation) tasks.  With ``jobs > 1`` the tasks fan out over a
-        process pool; each task is internally deterministic (seeded by
-        its window index) and the merge orders outcomes by
-        ``(window_index, alloc_index)`` and picks per-window winners by
-        ``(score, alloc_index)`` -- exactly the serial iteration order --
-        so parallel results are bit-identical to serial ones.
+        allocation) tasks handed to the configured execution backend.
+        Each task is internally deterministic (seeded by its window
+        index) and the merge orders outcomes by ``(window_index,
+        alloc_index)`` and picks per-window winners by ``(score,
+        alloc_index)`` -- exactly the serial iteration order -- so every
+        backend produces bit-identical results.
         """
         wall_start = time.perf_counter()
         cache = EvalCache(enabled=self.use_cache)
-        evaluator = ScheduleEvaluator(scenario, self.mcm, self.database,
-                                      cache=cache)
+        evaluator = CandidateEvaluator(scenario, self.mcm, self.database,
+                                       cache=cache, delta=self.use_delta)
         expected_lat = expected_layer_latencies(scenario, self.mcm,
                                                 self.database)
         expected_en = expected_layer_energies(scenario, self.mcm,
@@ -170,58 +172,43 @@ class SCARScheduler:
 
         tasks = []
         for window in plan.windows:
-            shares = self._window_shares(window, expected_lat, expected_en)
-            for alloc_index, alloc in enumerate(
-                    self._allocations(window, shares)):
+            shares = window_shares(self.objective, window, expected_lat,
+                                   expected_en)
+            allocations = window_allocations(
+                window, shares, mode=self.provisioning,
+                num_chiplets=self.mcm.num_chiplets,
+                max_nodes_per_model=self.max_nodes_per_model,
+                limit=self.prov_limit)
+            for alloc_index, alloc in enumerate(allocations):
                 tasks.append((window, alloc_index, alloc))
 
-        if self.jobs > 1 and len(tasks) > 1:
-            outcomes = self._run_tasks_parallel(scenario, tasks,
-                                                expected_lat)
-        else:
-            outcomes = []
-            for window, alloc_index, alloc in tasks:
-                collected: list[WindowCandidate] = []
-                best = self._search_one_alloc(scenario, window, alloc,
-                                              expected_lat, evaluator,
-                                              collected)
-                outcomes.append((window.index, alloc_index, best,
-                                 collected, None))
+        outcomes = self.backend.run(self, scenario, tasks, expected_lat,
+                                    evaluator)
 
-        best_by_window, all_candidates, num_evaluated, worker_stats = \
-            self._merge_outcomes(plan, outcomes)
+        (best_by_window, all_candidates, num_evaluated, worker_stats,
+         eval_stats) = self._merge_outcomes(plan, outcomes)
 
         schedule = Schedule(windows=tuple(
             candidate.window for candidate in best_by_window))
         metrics = evaluator.evaluate(schedule)
+        eval_stats.merge(evaluator.stats)
         perf = PerfReport(
             wall_s=time.perf_counter() - wall_start,
             num_evaluated=num_evaluated,
             num_windows=plan.num_windows,
-            jobs=self.jobs,
+            # The backend's parallelism, not the configured ``jobs``: an
+            # explicit serial backend overriding jobs=N reports 1.
+            jobs=self.backend.jobs,
             cache=merge_stats(cache.snapshot(), *worker_stats),
+            num_segments=eval_stats.num_segments,
+            num_segments_recosted=eval_stats.num_segments_recosted,
         )
         log_report(perf)
         return SCARResult(schedule=schedule, metrics=metrics, plan=plan,
                           window_candidates=tuple(all_candidates),
                           num_evaluated=num_evaluated, perf=perf)
 
-    # -- task fan-out / merge -------------------------------------------------
-
-    def _run_tasks_parallel(self, scenario: Scenario, tasks,
-                            expected_lat: list[list[float]]):
-        """Fan (window, alloc) tasks out over a process pool.
-
-        Each worker builds one evaluator (fresh cache) at startup and
-        reuses it across the tasks it receives; per-task cache-stat
-        deltas ride back with the results so the parent can merge exact
-        aggregate counters.
-        """
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_init,
-                initargs=(self, scenario, expected_lat)) as pool:
-            return list(pool.map(_worker_run, tasks))
+    # -- task merge -------------------------------------------------------
 
     @staticmethod
     def _merge_outcomes(plan: PackingPlan, outcomes):
@@ -230,49 +217,25 @@ class SCARScheduler:
         best: dict[int, tuple[tuple[float, int], WindowCandidate]] = {}
         collected: dict[int, list[WindowCandidate]] = {}
         worker_stats = []
-        for window_index, alloc_index, candidate, evaluated, stats \
-                in outcomes:
+        eval_stats = EvaluatorStats()
+        for (window_index, alloc_index, candidate, evaluated, stats,
+                seg_stats) in outcomes:
             collected.setdefault(window_index, []).extend(evaluated)
             rank = (candidate.score, alloc_index)
             if window_index not in best or rank < best[window_index][0]:
                 best[window_index] = (rank, candidate)
             if stats is not None:
                 worker_stats.append(stats)
+            if seg_stats is not None:
+                eval_stats.merge(seg_stats)
         best_by_window = [best[w.index][1] for w in plan.windows]
         all_candidates = [tuple(collected.get(w.index, []))
                           for w in plan.windows]
         num_evaluated = sum(len(c) for c in all_candidates)
-        return best_by_window, all_candidates, num_evaluated, worker_stats
+        return (best_by_window, all_candidates, num_evaluated,
+                worker_stats, eval_stats)
 
     # -- engine plumbing ----------------------------------------------------------
-
-    def _window_shares(self, window: WindowAssignment,
-                       expected_lat: list[list[float]],
-                       expected_en: list[list[float]]) -> dict[int, float]:
-        """E(P_i) per model for the PROV rule, under the search objective.
-
-        The latency-bound constraint (if any) applies to schedules, not to
-        provisioning shares, so it is stripped here -- otherwise a heavy
-        model's expected cost could score ``inf`` and break Eq. (2).
-        """
-        from dataclasses import replace
-        unbounded = replace(self.objective, latency_bound_s=None)
-        shares: dict[int, float] = {}
-        for model, start, stop in window.ranges:
-            lat = sum(expected_lat[model][start:stop])
-            energy = sum(expected_en[model][start:stop])
-            shares[model] = unbounded.score_values(lat, energy)
-        return shares
-
-    def _allocations(self, window: WindowAssignment,
-                     shares: dict[int, float]) -> list[dict[int, int]]:
-        if self.provisioning == "uniform":
-            return [uniform_allocation(window, shares,
-                                       self.mcm.num_chiplets,
-                                       self.max_nodes_per_model)]
-        return list(exhaustive_allocations(window, self.mcm.num_chiplets,
-                                           self.max_nodes_per_model,
-                                           limit=self.prov_limit))
 
     def _rank_for_window(self, scenario: Scenario, window: WindowAssignment,
                          alloc: dict[int, int],
@@ -292,7 +255,7 @@ class SCARScheduler:
     def _search_one_alloc(self, scenario: Scenario,
                           window: WindowAssignment, alloc: dict[int, int],
                           expected_lat: list[list[float]],
-                          evaluator: ScheduleEvaluator,
+                          evaluator: CandidateEvaluator,
                           collected: list[WindowCandidate]
                           ) -> WindowCandidate:
         """SEG + SCHED search of one window under one node allocation."""
@@ -302,44 +265,11 @@ class SCARScheduler:
             seeds = {m: [r.cuts for r in ranked[m]] for m in ranked}
             search = EvolutionarySegSearch(
                 window, alloc, evaluator, self.objective, self.budget,
-                config=self.ga_config, seeds=seeds)
+                config=self.ga_config, seeds=seeds,
+                window_search=self.window_search)
             candidate = search.run()
             collected.extend(search.evaluated)
             return candidate
-        return search_window(window, ranked, evaluator, self.objective,
-                             self.budget, collect=collected)
-
-
-# -- process-pool worker state (one evaluator per worker process) -----------
-
-_WORKER: dict = {}
-
-
-def _worker_init(scheduler: SCARScheduler, scenario: Scenario,
-                 expected_lat: list[list[float]]) -> None:
-    _WORKER["scheduler"] = scheduler
-    _WORKER["scenario"] = scenario
-    _WORKER["expected_lat"] = expected_lat
-    _WORKER["evaluator"] = ScheduleEvaluator(
-        scenario, scheduler.mcm, scheduler.database,
-        cache=EvalCache(enabled=scheduler.use_cache))
-
-
-def _worker_run(task):
-    """Run one (window, alloc) task; return its outcome + stat deltas."""
-    window, alloc_index, alloc = task
-    scheduler: SCARScheduler = _WORKER["scheduler"]
-    evaluator: ScheduleEvaluator = _WORKER["evaluator"]
-    before = evaluator.cache.snapshot()
-    collected: list[WindowCandidate] = []
-    best = scheduler._search_one_alloc(_WORKER["scenario"], window, alloc,
-                                       _WORKER["expected_lat"], evaluator,
-                                       collected)
-    after = evaluator.cache.snapshot()
-    delta = {
-        table: CacheStats(
-            hits=stats.hits - before.get(table, CacheStats()).hits,
-            misses=stats.misses - before.get(table, CacheStats()).misses)
-        for table, stats in after.items()
-    }
-    return window.index, alloc_index, best, collected, delta
+        return self.window_search.run(window, ranked, evaluator,
+                                      self.objective, self.budget,
+                                      collect=collected)

@@ -101,21 +101,32 @@ def search_window(window: WindowAssignment,
                   ranked_by_model: dict[int, list[RankedSegmentation]],
                   evaluator: ScheduleEvaluator, objective: Objective,
                   budget: SearchBudget,
-                  collect: list[WindowCandidate] | None = None
-                  ) -> WindowCandidate:
+                  collect: list[WindowCandidate] | None = None,
+                  beam: int | None = None) -> WindowCandidate:
     """Explore (segmentation x placement) for one window; return the best.
 
     Segmentation combinations are visited in ascending summed-proxy-score
     order; each combination receives an equal share of the window's
     evaluation budget.  ``collect``, when given, receives every evaluated
     candidate (for Pareto reporting).
+
+    ``beam`` prunes the combination list to the ``beam``
+    best-proxy-scored entries *before* the budget is split, trading
+    population coverage for a deeper placement search per surviving
+    combination.  ``beam=None`` (the default everywhere, including every
+    paper figure) keeps the full exhaustive enumeration and is
+    bit-identical to the pre-beam engine.
     """
+    if beam is not None and beam < 1:
+        raise SearchError(f"beam must be None or >= 1, got {beam}")
     models = list(window.models)
     combos = sorted(
         product(*(ranked_by_model[m] for m in models)),
         key=lambda combo: sum(r.score for r in combo))
     if not combos:
         raise SearchError(f"window {window.index}: no segmentations")
+    if beam is not None:
+        combos = combos[:beam]
 
     per_combo_budget = max(1, budget.max_candidates_per_window // len(combos))
     rng = random.Random(budget.seed + 7919 * window.index)

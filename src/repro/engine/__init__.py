@@ -1,0 +1,58 @@
+"""The unified search-engine layer: one evaluation kernel for every policy.
+
+This package is the single place the scheduling search is *executed*:
+
+* :class:`CandidateEvaluator` -- the costing kernel every policy routes
+  through (segment -> chain -> window -> schedule), with a
+  delta-evaluation fast path that re-costs only chains whose cut
+  boundaries or congestion moved, and per-evaluator statistics feeding
+  :mod:`repro.perf`.
+* :class:`WindowSearch` -- the per-window search strategy object: the
+  paper's exhaustive (segmentation x placement) enumeration, generalized
+  with a ``beam`` knob (``beam=None`` reproduces the exhaustive search
+  bit-identically and stays the default for all paper figures).
+* :mod:`~repro.engine.backends` -- pluggable execution backends
+  (``serial``, ``process``) that fan (window, allocation) tasks out and
+  merge outcomes bit-identically to a serial loop.
+* :mod:`~repro.engine.provisioning` -- the PROV step as engine plumbing
+  (expected shares + allocation enumeration) shared by every scheduler.
+* :mod:`~repro.engine.candidates` -- the one candidate-point assembly
+  used by both the in-process and wire-side Pareto constructions.
+
+Policies (:mod:`repro.api.policies`) stay pure strategy objects: they
+describe *what* to search; this package owns *how* candidates are
+evaluated, pruned and distributed.
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.candidates import assemble_candidate_points
+from repro.engine.evaluator import (
+    CandidateEvaluator,
+    EvaluatorStats,
+    chain_delta_key,
+)
+from repro.engine.provisioning import window_allocations, window_shares
+from repro.engine.search import WindowSearch
+
+__all__ = [
+    "CandidateEvaluator",
+    "EvaluatorStats",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "WindowSearch",
+    "assemble_candidate_points",
+    "backend_names",
+    "chain_delta_key",
+    "register_backend",
+    "resolve_backend",
+    "window_allocations",
+    "window_shares",
+]

@@ -1,0 +1,202 @@
+"""Pluggable execution backends for the window search.
+
+A backend runs the independent (window, allocation-index, allocation)
+tasks of one scheduling run and returns *outcomes*::
+
+    (window_index, alloc_index, best_candidate, evaluated_candidates,
+     cache_stats_delta | None, evaluator_stats_delta | None)
+
+The scheduler merges outcomes by ``(window_index, alloc_index)`` and
+picks per-window winners by ``(score, alloc_index)`` -- exactly the
+serial iteration order -- so **every backend is bit-identical**: the
+backend choice changes wall-clock time, never a single result bit.
+
+Two backends ship built in and new ones register by name::
+
+    @register_backend("my_backend")
+    def _make(jobs: int) -> ExecutionBackend: ...
+
+``serial``    run tasks in-process against the run's shared evaluator
+              (deltas stay ``None``: the parent's counters already hold
+              everything).
+``process``   fan tasks over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` of ``jobs`` workers; each worker owns one
+              :class:`~repro.engine.evaluator.CandidateEvaluator` with a
+              fresh cache and ships per-task cache/stat deltas back so
+              the parent can merge exact aggregate counters.
+
+Backends are selected per :class:`~repro.api.session.Session` (or per
+request) rather than per scheduler -- see ``ScheduleRequest.backend``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.core.evalcache import EvalCache
+from repro.core.packing import WindowAssignment
+from repro.core.sched_engine import WindowCandidate
+from repro.engine.evaluator import CandidateEvaluator, EvaluatorStats
+from repro.errors import SearchError
+from repro.perf import CacheStats
+from repro.workloads.model import Scenario
+
+#: One unit of independent search work: (window, alloc_index, alloc).
+Task = tuple[WindowAssignment, int, dict[int, int]]
+
+#: What a backend returns per task; see the module docstring.
+TaskOutcome = tuple[int, int, WindowCandidate, list[WindowCandidate],
+                    dict[str, CacheStats] | None, EvaluatorStats | None]
+
+
+class ExecutionBackend(Protocol):
+    """Strategy object executing a run's (window, alloc) tasks."""
+
+    name: str
+    #: Worker processes this backend may use (1 = in-process); what
+    #: ``PerfReport.jobs`` reports for runs executed on this backend.
+    jobs: int
+
+    def run(self, scheduler: Any, scenario: Scenario,
+            tasks: Sequence[Task], expected_lat: list[list[float]],
+            evaluator: CandidateEvaluator) -> list[TaskOutcome]:
+        """Execute ``tasks`` and return their outcomes (any order)."""
+        ...  # pragma: no cover
+
+
+_BACKENDS: dict[str, Callable[[int], "ExecutionBackend"]] = {}
+
+
+def register_backend(name: str) -> Callable:
+    """Register an execution-backend factory (``jobs -> backend``)."""
+
+    def add(factory: Callable[[int], "ExecutionBackend"]):
+        if name in _BACKENDS:
+            raise SearchError(f"backend {name!r} is already registered")
+        _BACKENDS[name] = factory
+        return factory
+
+    return add
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(name: str | None, jobs: int) -> "ExecutionBackend":
+    """Build the backend ``name`` (``None`` = infer from ``jobs``).
+
+    The inference preserves the historical ``jobs`` contract: ``jobs=1``
+    runs serially, ``jobs>1`` fans out over a process pool.
+    """
+    if name is None:
+        name = "process" if jobs > 1 else "serial"
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown execution backend {name!r}; registered: "
+            f"{backend_names()}") from None
+    return factory(jobs)
+
+
+class SerialBackend:
+    """In-process execution against the run's shared evaluator."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(self, scheduler: Any, scenario: Scenario,
+            tasks: Sequence[Task], expected_lat: list[list[float]],
+            evaluator: CandidateEvaluator) -> list[TaskOutcome]:
+        outcomes: list[TaskOutcome] = []
+        for window, alloc_index, alloc in tasks:
+            collected: list[WindowCandidate] = []
+            best = scheduler._search_one_alloc(scenario, window, alloc,
+                                               expected_lat, evaluator,
+                                               collected)
+            outcomes.append((window.index, alloc_index, best, collected,
+                             None, None))
+        return outcomes
+
+
+class ProcessBackend:
+    """Process-pool fan-out (the historical ``jobs=N`` behaviour).
+
+    Each worker builds one evaluator (fresh cache) at startup and reuses
+    it across the tasks it receives; per-task cache/stat deltas ride
+    back with the results so the parent merges exact aggregate counters.
+    Falls back to the serial path when a pool cannot help (one worker or
+    at most one task), matching the pre-backend scheduler exactly.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise SearchError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, scheduler: Any, scenario: Scenario,
+            tasks: Sequence[Task], expected_lat: list[list[float]],
+            evaluator: CandidateEvaluator) -> list[TaskOutcome]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            return SerialBackend().run(scheduler, scenario, tasks,
+                                       expected_lat, evaluator)
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(scheduler, scenario, expected_lat)) as pool:
+            return list(pool.map(_worker_run, tasks))
+
+
+@register_backend("serial")
+def _make_serial(jobs: int) -> SerialBackend:
+    return SerialBackend()
+
+
+@register_backend("process")
+def _make_process(jobs: int) -> ProcessBackend:
+    return ProcessBackend(jobs)
+
+
+# -- process-pool worker state (one evaluator per worker process) -----------
+
+_WORKER: dict = {}
+
+
+def _worker_init(scheduler: Any, scenario: Scenario,
+                 expected_lat: list[list[float]]) -> None:
+    _WORKER["scheduler"] = scheduler
+    _WORKER["scenario"] = scenario
+    _WORKER["expected_lat"] = expected_lat
+    _WORKER["evaluator"] = CandidateEvaluator(
+        scenario, scheduler.mcm, scheduler.database,
+        cache=EvalCache(enabled=scheduler.use_cache),
+        delta=scheduler.use_delta)
+
+
+def _worker_run(task: Task) -> TaskOutcome:
+    """Run one (window, alloc) task; return its outcome + stat deltas."""
+    window, alloc_index, alloc = task
+    scheduler = _WORKER["scheduler"]
+    evaluator: CandidateEvaluator = _WORKER["evaluator"]
+    cache_before = evaluator.cache.snapshot()
+    stats_before = evaluator.stats.snapshot()
+    collected: list[WindowCandidate] = []
+    best = scheduler._search_one_alloc(_WORKER["scenario"], window, alloc,
+                                       _WORKER["expected_lat"], evaluator,
+                                       collected)
+    cache_delta = {
+        table: CacheStats(
+            hits=stats.hits - cache_before.get(table, CacheStats()).hits,
+            misses=(stats.misses
+                    - cache_before.get(table, CacheStats()).misses),
+            evictions=(stats.evictions
+                       - cache_before.get(table, CacheStats()).evictions))
+        for table, stats in evaluator.cache.snapshot().items()
+    }
+    return (window.index, alloc_index, best, collected, cache_delta,
+            evaluator.stats.delta(stats_before))

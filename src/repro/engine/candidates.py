@@ -1,0 +1,58 @@
+"""Candidate-population helpers shared by every result type.
+
+The Pareto figures consume *assembled* candidate schedules: same-rank
+window candidates combined across windows.  Both the in-process
+:class:`~repro.core.scar.SCARResult` (full
+:class:`~repro.core.sched_engine.WindowCandidate` objects) and the
+wire-side :class:`~repro.api.request.ScheduleResult`
+(:class:`~repro.api.wire.CandidatePoint` summaries) build their Pareto
+points here, so the construction -- including the single-schedule
+fallback for policies that collect no population -- cannot diverge
+between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+Point = tuple[float, float]
+"""(latency_s, energy_j) of one candidate."""
+
+
+def candidate_point(candidate: Any) -> Point:
+    """(latency_s, energy_j) of one window candidate, either flavour.
+
+    Accepts full :class:`~repro.core.sched_engine.WindowCandidate`
+    objects (metrics nested under ``.metrics``) and wire-side
+    :class:`~repro.api.wire.CandidatePoint` summaries (flat fields).
+    """
+    metrics = getattr(candidate, "metrics", None)
+    if metrics is not None:
+        return (metrics.latency_s, metrics.energy_j)
+    return (candidate.latency_s, candidate.energy_j)
+
+
+def assemble_candidate_points(
+        window_candidates: Sequence[Sequence[Any]], *,
+        fallback: Point) -> list[Point]:
+    """(latency_s, energy_j) of assembled candidate schedules.
+
+    Candidate schedules are formed by combining same-rank window
+    candidates across windows after ranking each window by score (rank 0
+    = the chosen schedule).  ``fallback`` is the single schedule point
+    used when no population was collected (baseline policies, results
+    rebuilt from a wire document without candidates).
+    """
+    if not window_candidates:
+        return [fallback]
+    ranked_per_window = [sorted(cands, key=lambda c: c.score)
+                         for cands in window_candidates]
+    depth = min(len(r) for r in ranked_per_window)
+    points: list[Point] = []
+    for rank in range(depth):
+        latency = sum(candidate_point(r[rank])[0]
+                      for r in ranked_per_window)
+        energy = sum(candidate_point(r[rank])[1]
+                     for r in ranked_per_window)
+        points.append((latency, energy))
+    return points

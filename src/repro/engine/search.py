@@ -1,0 +1,59 @@
+"""The per-window search strategy object.
+
+:class:`WindowSearch` wraps the SCHED kernel
+(:func:`repro.core.sched_engine.search_window`) as a configurable value
+object, so schedulers hold *one* strategy instead of hard-wiring the
+enumeration loop.  The single knob today is ``beam``:
+
+``beam=None``  the paper's exhaustive enumeration over the
+               heuristic-reduced (segmentation x placement) space --
+               bit-identical to the historical engine and the default
+               for every paper figure;
+``beam=k``     keep only the ``k`` best proxy-scored segmentation
+               combinations, splitting the window's evaluation budget
+               across the survivors (deeper placement search per combo,
+               smaller population).
+
+Future strategies (vectorized scoring, learned pruning) land here as new
+fields or sibling classes without touching any scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import SearchBudget
+from repro.core.metrics import ScheduleEvaluator
+from repro.core.packing import WindowAssignment
+from repro.core.scoring import Objective
+from repro.core.sched_engine import WindowCandidate, search_window
+from repro.core.segmentation import RankedSegmentation
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class WindowSearch:
+    """Configurable (segmentation x placement) search for one window."""
+
+    beam: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.beam is not None and self.beam < 1:
+            raise SearchError(
+                f"beam must be None or >= 1, got {self.beam}")
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when this strategy reproduces the paper's exact search."""
+        return self.beam is None
+
+    def run(self, window: WindowAssignment,
+            ranked_by_model: dict[int, list[RankedSegmentation]],
+            evaluator: ScheduleEvaluator, objective: Objective,
+            budget: SearchBudget,
+            collect: list[WindowCandidate] | None = None
+            ) -> WindowCandidate:
+        """Search one window; same contract as :func:`search_window`."""
+        return search_window(window, ranked_by_model, evaluator,
+                             objective, budget, collect=collect,
+                             beam=self.beam)

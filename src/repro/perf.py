@@ -22,10 +22,11 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one memo table."""
+    """Hit/miss/eviction counters of one memo table."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -44,7 +45,7 @@ class CacheStats:
 
     def to_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "hit_rate": self.hit_rate}
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
 
 
 def merge_stats(*stat_maps: dict[str, CacheStats]) -> dict[str, CacheStats]:
@@ -55,6 +56,7 @@ def merge_stats(*stat_maps: dict[str, CacheStats]) -> dict[str, CacheStats]:
             base = merged.setdefault(table, CacheStats())
             base.hits += entry.hits
             base.misses += entry.misses
+            base.evictions += entry.evictions
     return merged
 
 
@@ -62,10 +64,18 @@ def merge_stats(*stat_maps: dict[str, CacheStats]) -> dict[str, CacheStats]:
 class PerfReport:
     """Timing / evaluation statistics of one scheduling run.
 
-    ``num_evaluated``    fully evaluated window candidates.
-    ``num_windows``      time windows searched.
-    ``jobs``             worker processes used (1 = serial).
-    ``cache``            per-table cache counters, merged across workers.
+    ``num_evaluated``          fully evaluated window candidates.
+    ``num_windows``            time windows searched.
+    ``jobs``                   worker processes used (1 = serial).
+    ``cache``                  per-table cache counters, merged across
+                               workers.
+    ``num_segments``           segment costings the evaluator was asked
+                               for (chain segments of every window that
+                               missed the window memo).
+    ``num_segments_recosted``  segment costings actually recomputed; the
+                               difference is what the engine's
+                               delta-evaluation fast path saved (see
+                               :class:`repro.engine.CandidateEvaluator`).
     """
 
     wall_s: float = 0.0
@@ -73,10 +83,19 @@ class PerfReport:
     num_windows: int = 0
     jobs: int = 1
     cache: dict[str, CacheStats] = field(default_factory=dict)
+    num_segments: int = 0
+    num_segments_recosted: int = 0
 
     @property
     def evals_per_s(self) -> float:
         return self.num_evaluated / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def segment_reuse_rate(self) -> float:
+        """Fraction of segment costings served by delta-evaluation."""
+        if not self.num_segments:
+            return 0.0
+        return 1.0 - self.num_segments_recosted / self.num_segments
 
     def cache_table(self, table: str) -> CacheStats:
         """Counters of one memo table (zeroes when the table never ran)."""
@@ -97,6 +116,11 @@ class PerfReport:
             f"evaluations    {self.num_evaluated} window candidates over "
             f"{self.num_windows} windows ({self.evals_per_s:.0f} evals/s)",
         ]
+        if self.num_segments:
+            lines.append(
+                f"segments       {self.num_segments_recosted}/"
+                f"{self.num_segments} re-costed "
+                f"({self.segment_reuse_rate:.1%} delta reuse)")
         for table in sorted(self.cache):
             stats = self.cache[table]
             lines.append(
@@ -112,6 +136,9 @@ class PerfReport:
             "num_windows": self.num_windows,
             "jobs": self.jobs,
             "evals_per_s": self.evals_per_s,
+            "num_segments": self.num_segments,
+            "num_segments_recosted": self.num_segments_recosted,
+            "segment_reuse_rate": self.segment_reuse_rate,
             "cache": {table: stats.to_dict()
                       for table, stats in sorted(self.cache.items())},
         }
@@ -171,6 +198,9 @@ def aggregate_reports(reports: list[PerfReport],
         jobs=jobs if jobs is not None
         else max((p.jobs for p in reports), default=1),
         cache=merge_stats(*(p.cache for p in reports)),
+        num_segments=sum(p.num_segments for p in reports),
+        num_segments_recosted=sum(p.num_segments_recosted
+                                  for p in reports),
     )
 
 

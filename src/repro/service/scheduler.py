@@ -336,7 +336,11 @@ class SchedulerService:
 
         ``queue`` / ``run`` aggregate per-job wall times
         (:class:`~repro.perf.TimingSummary`); ``session`` is the wrapped
-        session's aggregate :class:`~repro.perf.PerfReport`.
+        session's aggregate :class:`~repro.perf.PerfReport` (including
+        the engine's delta-evaluation ``num_segments*`` counters and
+        per-table cache/eviction stats); ``backend`` echoes the
+        session's default execution backend (``None`` = per-request
+        inference from ``jobs``).
         """
         with self._lock:
             records = list(self._records.values())
@@ -350,6 +354,7 @@ class SchedulerService:
             "jobs": self._tally(records),
             "queue": queue_summary.to_dict(),
             "run": run_summary.to_dict(),
+            "backend": self.session.backend,
             "session": self.session.perf_summary().to_dict(),
         }
 

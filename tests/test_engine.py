@@ -1,0 +1,379 @@
+"""Unit tests for the unified search-engine layer (:mod:`repro.engine`).
+
+Covers the four engine pieces the schedulers now share: the
+delta-costing :class:`CandidateEvaluator`, the :class:`WindowSearch`
+strategy (beam knob), the pluggable execution backends and the
+provisioning/candidate plumbing -- plus the LRU bound on
+:class:`EvalCache` and the request/session threading of the new knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScheduleRequest, Session
+from repro.core.evalcache import EvalCache
+from repro.core.metrics import ScheduleEvaluator
+from repro.core.packing import WindowAssignment
+from repro.core.provisioner import uniform_allocation
+from repro.core.scar import SCARScheduler
+from repro.core.schedule import Segment, WindowSchedule
+from repro.core.scoring import edp_objective
+from repro.core.sched_engine import search_window
+from repro.core.segmentation import RankedSegmentation
+from repro.engine import (
+    CandidateEvaluator,
+    EvaluatorStats,
+    ProcessBackend,
+    SerialBackend,
+    WindowSearch,
+    assemble_candidate_points,
+    backend_names,
+    chain_delta_key,
+    register_backend,
+    resolve_backend,
+    window_allocations,
+    window_shares,
+)
+from repro.errors import ConfigError, SearchError
+
+
+@pytest.fixture
+def window():
+    return WindowAssignment(index=0, ranges=((0, 0, 4), (1, 0, 3)))
+
+
+def _ranked(cuts_by_model):
+    return {m: [RankedSegmentation(cuts=c, score=float(i))
+                for i, c in enumerate(cuts)]
+            for m, cuts in cuts_by_model.items()}
+
+
+def _window_schedule(cuts0, nodes0, node1):
+    """Two-chain window: model 0 split at ``cuts0``, model 1 unsplit."""
+    bounds = [0, *cuts0, 4]
+    chain0 = tuple(
+        Segment(model=0, start=bounds[i], stop=bounds[i + 1],
+                node=nodes0[i])
+        for i in range(len(bounds) - 1))
+    return WindowSchedule(index=0, chains=(
+        chain0, (Segment(model=1, start=0, stop=3, node=node1),)))
+
+
+class TestCandidateEvaluator:
+    def test_is_a_schedule_evaluator(self, tiny_scenario, het_mcm,
+                                     database):
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        assert isinstance(evaluator, ScheduleEvaluator)
+
+    def test_matches_plain_evaluator_bit_for_bit(self, tiny_scenario,
+                                                 het_mcm, database):
+        plain = ScheduleEvaluator(tiny_scenario, het_mcm, database)
+        delta = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        for cuts, nodes in (((), (0,)),
+                            ((2,), (0, 3)), ((1,), (3, 6)),
+                            ((1, 2), (0, 3, 6))):
+            ws = _window_schedule(cuts, nodes, 2)
+            assert delta.evaluate_window(ws) == plain.evaluate_window(ws)
+
+    def test_unchanged_chain_is_not_recosted(self, tiny_scenario,
+                                             het_mcm, database):
+        """Moving model 0's cut must not re-cost model 1's chain."""
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        evaluator.evaluate_window(_window_schedule((2,), (0, 3), 2))
+        first = evaluator.stats.num_segments_recosted
+        assert first == evaluator.stats.num_segments == 3
+        # Same placement, different cut for model 0: chain 0 re-costs,
+        # chain 1 (identical structure, no congestion change on its
+        # links) is served from the chain memo.
+        evaluator.evaluate_window(_window_schedule((1,), (0, 3), 2))
+        assert evaluator.stats.num_segments == 6
+        assert evaluator.stats.num_segments_recosted == first + 2
+        assert evaluator.cache.stats["chain"].hits == 1
+
+    def test_window_memo_hits_do_not_count_segments(self, tiny_scenario,
+                                                    het_mcm, database):
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        ws = _window_schedule((2,), (0, 3), 2)
+        evaluator.evaluate_window(ws)
+        seen = evaluator.stats.num_segments
+        evaluator.evaluate_window(ws)  # whole-window memo hit
+        assert evaluator.stats.num_segments == seen
+
+    def test_delta_off_recosts_everything(self, tiny_scenario, het_mcm,
+                                          database):
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database,
+                                       delta=False)
+        evaluator.evaluate_window(_window_schedule((2,), (0, 3), 2))
+        evaluator.evaluate_window(_window_schedule((1,), (0, 3), 2))
+        assert evaluator.stats.num_segments_recosted \
+            == evaluator.stats.num_segments == 6
+        assert "chain" not in evaluator.cache.stats
+
+    def test_disabled_cache_still_bit_identical(self, tiny_scenario,
+                                                het_mcm, database):
+        cached = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        uncached = CandidateEvaluator(tiny_scenario, het_mcm, database,
+                                      cache=EvalCache(enabled=False))
+        ws = _window_schedule((1, 2), (0, 3, 6), 2)
+        assert cached.evaluate_window(ws) == uncached.evaluate_window(ws)
+
+    def test_stats_delta_and_merge(self):
+        stats = EvaluatorStats(num_segments=10, num_segments_recosted=4)
+        before = stats.snapshot()
+        stats.num_segments += 5
+        stats.num_segments_recosted += 1
+        delta = stats.delta(before)
+        assert delta == EvaluatorStats(5, 1)
+        merged = EvaluatorStats()
+        merged.merge(delta)
+        merged.merge(delta)
+        assert merged == EvaluatorStats(10, 2)
+        assert stats.reuse_rate == pytest.approx(1 - 5 / 15)
+        assert EvaluatorStats().reuse_rate == 0.0
+
+
+class TestChainDeltaKey:
+    def test_distinguishes_placement_and_cuts(self):
+        congestion: dict[tuple, float] = {}
+        a = chain_delta_key((Segment(0, 0, 2, node=0),), congestion)
+        b = chain_delta_key((Segment(0, 0, 2, node=1),), congestion)
+        c = chain_delta_key((Segment(0, 0, 3, node=0),), congestion)
+        assert len({a, b, c}) == 3
+        assert a == chain_delta_key((Segment(0, 0, 2, node=0),), {})
+
+    def test_reads_only_own_congestion(self):
+        chain = (Segment(0, 0, 2, node=0), Segment(0, 2, 4, node=1))
+        base = chain_delta_key(chain, {})
+        # A factor on an unrelated link must not change the key ...
+        assert base == chain_delta_key(chain, {(2, 5): 3.0})
+        # ... while factors on the chain's own links must.
+        assert base != chain_delta_key(chain, {(0, 1): 2.0})
+        assert base != chain_delta_key(chain, {(None, 0): 2.0})
+        assert base != chain_delta_key(chain, {(1, None): 2.0})
+
+
+class TestWindowSearch:
+    def test_default_is_exhaustive_and_bit_identical(
+            self, window, tiny_scenario, het_mcm, database, small_budget):
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        ranked = _ranked({0: [(), (2,)], 1: [(), (1,)]})
+        strategy = WindowSearch()
+        assert strategy.exhaustive
+        collected_a: list = []
+        collected_b: list = []
+        a = strategy.run(window, ranked, evaluator, edp_objective(),
+                         small_budget, collect=collected_a)
+        b = search_window(window, ranked, evaluator, edp_objective(),
+                          small_budget, collect=collected_b)
+        assert a == b
+        assert collected_a == collected_b
+
+    def test_beam_prunes_segmentation_combos(
+            self, window, tiny_scenario, het_mcm, database, small_budget):
+        evaluator = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        ranked = _ranked({0: [(), (2,)], 1: [(), (1,)]})
+        collected: list = []
+        best = WindowSearch(beam=1).run(window, ranked, evaluator,
+                                        edp_objective(), small_budget,
+                                        collect=collected)
+        assert best.score == min(c.score for c in collected)
+        # Only the best proxy-scored combo survives: every evaluated
+        # candidate uses the rank-0 cuts of both models (no cuts).
+        for candidate in collected:
+            assert all(len(chain) == 1
+                       for chain in candidate.window.chains)
+
+    def test_beam_validation(self):
+        with pytest.raises(SearchError):
+            WindowSearch(beam=0)
+        with pytest.raises(SearchError):
+            search_window(None, {}, None, None, None, beam=-1)
+
+
+class TestBackends:
+    def test_resolution_infers_from_jobs(self):
+        assert isinstance(resolve_backend(None, 1), SerialBackend)
+        process = resolve_backend(None, 4)
+        assert isinstance(process, ProcessBackend)
+        assert process.jobs == 4
+        assert isinstance(resolve_backend("serial", 8), SerialBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SearchError, match="unknown execution backend"):
+            resolve_backend("gpu", 1)
+
+    def test_builtin_names_registered(self):
+        assert set(backend_names()) >= {"serial", "process"}
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SearchError):
+            register_backend("serial")(lambda jobs: SerialBackend())
+
+    def test_process_backend_bit_identical_to_serial(
+            self, tiny_scenario, het_mcm, small_budget):
+        serial = SCARScheduler(het_mcm, nsplits=1, budget=small_budget,
+                               backend="serial").schedule(tiny_scenario)
+        pooled = SCARScheduler(het_mcm, nsplits=1, budget=small_budget,
+                               backend="process",
+                               jobs=2).schedule(tiny_scenario)
+        assert pooled.metrics == serial.metrics
+        assert pooled.schedule == serial.schedule
+        assert pooled.num_evaluated == serial.num_evaluated
+        # Worker delta counters merged back (perf is informational and,
+        # like cache hit counts, not bit-pinned across backends: the
+        # parent re-evaluates the winning windows itself in pooled mode).
+        assert pooled.perf.num_segments > 0
+        assert 0 < pooled.perf.num_segments_recosted \
+            <= pooled.perf.num_segments
+
+    def test_scheduler_rejects_unknown_backend(self, het_mcm):
+        with pytest.raises(SearchError):
+            SCARScheduler(het_mcm, backend="quantum")
+
+    def test_perf_reports_backend_parallelism_not_configured_jobs(
+            self, tiny_scenario, het_mcm, small_budget):
+        """An explicit serial backend overriding jobs=N reports jobs=1."""
+        result = SCARScheduler(het_mcm, nsplits=1, budget=small_budget,
+                               backend="serial",
+                               jobs=8).schedule(tiny_scenario)
+        assert result.perf.jobs == 1
+        pooled = SCARScheduler(het_mcm, nsplits=1, budget=small_budget,
+                               jobs=2).schedule(tiny_scenario)
+        assert pooled.perf.jobs == 2
+
+
+class TestProvisioningPlumbing:
+    def test_uniform_mode_matches_core_rule(self, window):
+        shares = {0: 2.0, 1: 1.0}
+        allocations = window_allocations(window, shares, mode="uniform",
+                                         num_chiplets=9)
+        assert allocations == [uniform_allocation(window, shares, 9)]
+
+    def test_exhaustive_mode_enumerates_with_limit(self, window):
+        allocations = window_allocations(window, {}, mode="exhaustive",
+                                         num_chiplets=4, limit=3)
+        assert len(allocations) == 3
+        assert all(sum(a.values()) <= 4 for a in allocations)
+
+    def test_unknown_mode_rejected(self, window):
+        with pytest.raises(SearchError, match="provisioning"):
+            window_allocations(window, {}, mode="magic", num_chiplets=9)
+
+    def test_shares_strip_latency_bound(self, window, tiny_scenario):
+        from dataclasses import replace
+
+        expected = [[1.0] * 4, [1.0] * 3]
+        bounded = replace(edp_objective(), latency_bound_s=1e-9)
+        shares = window_shares(bounded, window, expected, expected)
+        # Without the strip, every share would be inf.
+        assert all(s != float("inf") for s in shares.values())
+
+
+class TestCandidatePoints:
+    def test_fallback_when_no_population(self):
+        assert assemble_candidate_points((), fallback=(1.0, 2.0)) \
+            == [(1.0, 2.0)]
+
+    def test_wire_and_core_flavours_agree(self):
+        from repro.api.wire import CandidatePoint
+
+        class _Metrics:
+            def __init__(self, lat, en):
+                self.latency_s, self.energy_j = lat, en
+
+        class _Full:
+            def __init__(self, score, lat, en):
+                self.score, self.metrics = score, _Metrics(lat, en)
+
+        full = [[_Full(2.0, 4.0, 5.0), _Full(1.0, 2.0, 3.0)]]
+        flat = [[CandidatePoint(score=2.0, latency_s=4.0, energy_j=5.0),
+                 CandidatePoint(score=1.0, latency_s=2.0, energy_j=3.0)]]
+        assert assemble_candidate_points(full, fallback=(0.0, 0.0)) \
+            == assemble_candidate_points(flat, fallback=(0.0, 0.0)) \
+            == [(2.0, 3.0), (4.0, 5.0)]
+
+
+class TestEvalCacheLRU:
+    def test_eviction_at_cap(self):
+        cache = EvalCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.lookup("t", key, lambda: key)
+        assert cache.size("t") == 2
+        assert cache.stats["t"].evictions == 1
+        # "a" was evicted: looking it up again recomputes (a miss) ...
+        calls = []
+        cache.lookup("t", "a", lambda: calls.append(1))
+        assert calls
+        # ... which in turn evicts "b" (LRU order).
+        assert cache.stats["t"].evictions == 2
+        cache.lookup("t", "c", lambda: pytest.fail("c was evicted"))
+
+    def test_lru_touch_on_hit(self):
+        cache = EvalCache(max_entries=2)
+        cache.lookup("t", "a", lambda: 1)
+        cache.lookup("t", "b", lambda: 2)
+        cache.lookup("t", "a", lambda: 1)  # touch: "b" is now oldest
+        cache.lookup("t", "c", lambda: 3)
+        cache.lookup("t", "a", lambda: pytest.fail("a was evicted"))
+        assert cache.stats["t"].evictions == 1
+
+    def test_snapshot_carries_evictions(self):
+        cache = EvalCache(max_entries=1)
+        cache.lookup("t", "a", lambda: 1)
+        cache.lookup("t", "b", lambda: 2)
+        snap = cache.snapshot()
+        assert snap["t"].evictions == 1
+        snap["t"].evictions = 99
+        assert cache.stats["t"].evictions == 1  # it is a copy
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_entries=0)
+
+    def test_unbounded_mode(self):
+        cache = EvalCache(max_entries=None)
+        for i in range(100):
+            cache.lookup("t", i, lambda: i)
+        assert cache.size("t") == 100
+        assert cache.stats["t"].evictions == 0
+
+
+class TestRequestThreading:
+    def test_backend_and_beam_round_trip(self):
+        request = ScheduleRequest(scenario_id=4, backend="process",
+                                  beam=3)
+        rebuilt = ScheduleRequest.from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.backend == "process" and rebuilt.beam == 3
+
+    def test_legacy_documents_without_engine_fields_parse(self):
+        data = ScheduleRequest(scenario_id=4).to_dict()
+        del data["backend"], data["beam"]
+        rebuilt = ScheduleRequest.from_dict(data)
+        assert rebuilt.backend is None and rebuilt.beam is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ScheduleRequest(scenario_id=4, backend="quantum")
+        with pytest.raises(ConfigError, match="beam"):
+            ScheduleRequest(scenario_id=4, beam=0)
+        with pytest.raises(ConfigError, match="backend"):
+            Session(backend="quantum")
+
+    def test_cache_key_separates_beam(self):
+        base = ScheduleRequest(scenario_id=4)
+        assert base.cache_key() \
+            != base.replace(beam=2).cache_key()
+
+    def test_session_backend_bit_identical_to_serial(
+            self, tiny_scenario, small_budget):
+        """A session-wide process backend changes no result bit."""
+        request = ScheduleRequest.for_scenario(
+            tiny_scenario, nsplits=1, budget=small_budget)
+        serial = Session().submit(request)
+        pooled = Session(backend="process").submit(
+            request.replace(jobs=2))
+        assert pooled.schedule == serial.schedule
+        assert pooled.metrics == serial.metrics
+        assert pooled.window_candidates == serial.window_candidates

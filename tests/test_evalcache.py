@@ -7,7 +7,13 @@ import pytest
 from repro.core.evalcache import EvalCache, segment_place_key, window_key
 from repro.core.metrics import ScheduleEvaluator
 from repro.core.schedule import Segment, WindowSchedule
-from repro.perf import CacheStats, PerfReport, merge_stats
+from repro.perf import (
+    CacheStats,
+    PerfReport,
+    TimingSummary,
+    aggregate_reports,
+    merge_stats,
+)
 
 
 class TestEvalCache:
@@ -69,6 +75,54 @@ class TestStats:
         assert payload["cache"]["compute"]["hit_rate"] \
             == pytest.approx(0.75)
         assert payload["jobs"] == 2
+
+    def test_merge_stats_sums_evictions(self):
+        merged = merge_stats({"a": CacheStats(1, 2, evictions=3)},
+                             {"a": CacheStats(0, 0, evictions=4)})
+        assert merged["a"].evictions == 7
+
+    def test_segment_counters_render_aggregate_and_serialize(self):
+        report = PerfReport(num_segments=100, num_segments_recosted=60)
+        assert report.segment_reuse_rate == pytest.approx(0.4)
+        assert "re-costed" in report.render()
+        assert report.to_dict()["num_segments_recosted"] == 60
+        total = aggregate_reports([report, report])
+        assert total.num_segments == 200
+        assert total.num_segments_recosted == 120
+        assert PerfReport().segment_reuse_rate == 0.0
+        # Reports without segment counters render without the line.
+        assert "re-costed" not in PerfReport().render()
+
+
+class TestTimingSummaryMerge:
+    def test_merge_combines_counts_totals_and_max(self):
+        a = TimingSummary.from_samples([1.0, 2.0])
+        b = TimingSummary.from_samples([4.0])
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.total_s == pytest.approx(7.0)
+        assert merged.max_s == pytest.approx(4.0)
+        assert merged.mean_s == pytest.approx(7.0 / 3)
+
+    def test_merge_is_commutative_and_keeps_operands(self):
+        a = TimingSummary.from_samples([1.0, 3.0])
+        b = TimingSummary.from_samples([2.0, 5.0])
+        assert a.merge(b) == b.merge(a)
+        assert a == TimingSummary.from_samples([1.0, 3.0])  # unchanged
+
+    def test_merge_with_empty_is_identity(self):
+        samples = TimingSummary.from_samples([0.5, 1.5])
+        assert samples.merge(TimingSummary()) == samples
+        assert TimingSummary().merge(samples) == samples
+        assert TimingSummary().merge(TimingSummary()) == TimingSummary()
+
+    def test_merge_equals_from_samples_of_concatenation(self):
+        splits = ([0.1], [0.2, 0.9], [0.4, 0.3, 0.8])
+        merged = TimingSummary()
+        for split in splits:
+            merged = merged.merge(TimingSummary.from_samples(split))
+        flat = [s for split in splits for s in split]
+        assert merged == TimingSummary.from_samples(flat)
 
 
 class TestKeys:

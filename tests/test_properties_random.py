@@ -8,7 +8,10 @@ deterministic under the fixed seeds):
   one window, with windows contiguous and ordered;
 * ``segments_from_cuts`` partitions ``[start, stop)`` exactly;
 * a cached and an uncached evaluator agree bit-for-bit on hundreds of
-  randomized window schedules (the evalcache correctness property).
+  randomized window schedules (the evalcache correctness property);
+* the delta-costing :class:`repro.engine.CandidateEvaluator` agrees
+  bit-for-bit with full re-evaluation over long randomized cut-mutation
+  walks (the delta-evaluation correctness property).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from repro.core.metrics import ScheduleEvaluator
 from repro.core.packing import greedy_pack, uniform_pack
 from repro.core.schedule import Segment, WindowSchedule
 from repro.core.segmentation import segments_from_cuts
+from repro.engine import CandidateEvaluator
 from repro.workloads.layer import conv
 from repro.workloads.model import Model, ModelInstance, Scenario
 
@@ -133,3 +137,56 @@ class TestCachedVsUncached:
         assert stats["compute"].hits > 0
         assert stats["static"].hits > 0
         assert uncached.cache.stats["compute"].hits == 0
+
+
+class TestDeltaEvaluationParity:
+    """Incremental re-costing == full re-evaluation, bit for bit.
+
+    Walks a GA-like mutation chain: each step re-cuts *one* model of the
+    previous window (the exact move the delta-evaluation fast path
+    targets) and occasionally re-places chains entirely.  At every step
+    the delta evaluator must agree with a from-scratch evaluator, and
+    over the whole walk the chain memo must have actually saved work.
+    """
+
+    def _mutate(self, rng: random.Random, scenario: Scenario,
+                window: WindowSchedule, num_nodes: int) -> WindowSchedule:
+        chains = list(window.chains)
+        model = rng.randrange(len(chains))
+        stop = scenario[model].num_layers
+        positions = list(range(1, stop))
+        rng.shuffle(positions)
+        cuts = sorted(positions[:rng.randint(0, min(len(positions), 2))])
+        bounds = [0, *cuts, stop]
+        # Nodes not used by the *other* chains are free for this one.
+        taken = {seg.node for i, chain in enumerate(chains)
+                 for seg in chain if i != model}
+        free = [n for n in range(num_nodes) if n not in taken]
+        rng.shuffle(free)
+        chains[model] = tuple(
+            Segment(model=model, start=bounds[i], stop=bounds[i + 1],
+                    node=free[i])
+            for i in range(len(bounds) - 1))
+        return WindowSchedule(index=0, chains=tuple(chains))
+
+    def test_mutation_walk_agrees_bit_for_bit(self, tiny_scenario,
+                                              het_mcm, database):
+        delta = CandidateEvaluator(tiny_scenario, het_mcm, database)
+        full = CandidateEvaluator(tiny_scenario, het_mcm, database,
+                                  cache=EvalCache(enabled=False),
+                                  delta=False)
+        rng = random.Random(31337)
+        window = TestCachedVsUncached()._random_window(
+            rng, tiny_scenario, het_mcm.num_chiplets)
+        for _ in range(150):
+            window = self._mutate(rng, tiny_scenario, window,
+                                  het_mcm.num_chiplets)
+            assert delta.evaluate_window(window) \
+                == full.evaluate_window(window)
+        # Full evaluation re-costs every segment every time ...
+        assert full.stats.num_segments_recosted == full.stats.num_segments
+        # ... while the mutation walk must have let the delta evaluator
+        # reuse unchanged sibling chains.
+        assert delta.stats.num_segments_recosted \
+            < delta.stats.num_segments
+        assert delta.cache.stats["chain"].hits > 0
