@@ -45,7 +45,6 @@ from repro.engine.candidates import assemble_candidate_points
 from repro.core.scoring import Objective, objective_by_name
 from repro.errors import ConfigError
 from repro.perf import PerfReport
-from repro.workloads import zoo
 from repro.workloads.model import Scenario
 from repro.workloads.scenarios import scenario as table3_scenario
 
@@ -59,18 +58,11 @@ def scenario_spec(scenario: Scenario) -> dict[str, Any]:
     Models that rebuild bit-identically from the zoo are referenced by
     name (compact, Table III style); anything else -- custom or modified
     models -- has its layers inlined so the spec is self-contained.
+    Multi-tenant instance names (``model#k``) ride along.  This is
+    exactly :func:`repro.config.files.scenario_to_dict`, which inlines
+    non-zoo models automatically.
     """
-    spec = scenario_to_dict(scenario)
-    inlined = scenario_to_dict(scenario, inline_layers=True)
-    for inst, entry, full in zip(scenario, spec["models"],
-                                 inlined["models"]):
-        try:
-            if zoo.build(entry["model"]) == inst.model:
-                continue
-        except Exception:
-            pass
-        entry["layers"] = full["layers"]
-    return spec
+    return scenario_to_dict(scenario)
 
 
 @dataclass(frozen=True)

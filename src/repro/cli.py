@@ -6,6 +6,10 @@ Regenerates any paper table/figure from the terminal::
     scar fig9                   # Fig. 9 / Table VI breakdown
     scar schedule --scenario 4 --template het_sides_3x3
     scar schedule --scenario 4 --fast --format json   # wire document
+    scar schedule --scenario-file mix.json --fast     # generated workload
+    scar generate --kind random-mix --seed 7 --count 4 --output-dir work/
+    scar sweep --scenarios 1,2 --policies scar,standalone \
+        --store campaign.jsonl --workers 4 --fast     # resumable campaign
     scar serve --port 8787 --workers 2                # HTTP job service
     scar list                   # available experiments
 
@@ -13,8 +17,13 @@ The ``schedule`` command is a thin shell over :mod:`repro.api`: it builds
 one ``ScheduleRequest``, submits it to a ``Session`` and prints either
 the human-readable breakdown or (``--format json``) the result's JSON
 wire document; ``--output`` writes that same document to a file.
-Failures on the JSON path print a structured error document (``kind:
-"error"``) instead of a traceback.  The ``serve`` command runs the
+``--scenario-file`` schedules a scenario description file (e.g. one
+written by ``scar generate``) as an inline-spec request.  Failures on
+the JSON path print a structured error document (``kind: "error"``)
+instead of a traceback.  The ``generate`` and ``sweep`` commands drive
+:mod:`repro.workloads.generator` and :mod:`repro.sweep` (seeded
+scenario families; resumable grid campaigns -- see DESIGN.md "Scenario
+generation and sweeps").  The ``serve`` command runs the
 :mod:`repro.service` HTTP front-end (``POST /v1/jobs`` and friends, see
 DESIGN.md "The repro.service layer") until interrupted.
 
@@ -87,13 +96,24 @@ def _cmd_list() -> int:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.api import ScheduleRequest, Session
-    from repro.errors import ReproError
+    from repro.config import load_json, scenario_from_dict
+    from repro.errors import ConfigError, ReproError
     from repro.mcm import templates
 
     config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
     try:
-        request = ScheduleRequest(
-            scenario_id=args.scenario, template=args.template,
+        if args.scenario is not None and args.scenario_file:
+            raise ConfigError(
+                "use exactly one of --scenario and --scenario-file")
+        if args.scenario_file:
+            # Validate the document up front so malformed files surface
+            # as config errors (an ErrorDocument under --format json),
+            # then submit the normalized inline spec.
+            workload = scenario_from_dict(load_json(args.scenario_file))
+        else:
+            workload = args.scenario if args.scenario is not None else 4
+        request = ScheduleRequest.for_scenario(
+            workload, template=args.template,
             policy=args.policy, objective=args.objective,
             nsplits=config.nsplits, budget=config.budget, jobs=args.jobs,
             backend=args.backend, beam=args.beam)
@@ -121,6 +141,121 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         if args.output:
             print(f"schedule written to {args.output}")
     return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import json
+    import re
+    from pathlib import Path
+
+    from repro.config import save_json, scenario_to_dict
+    from repro.errors import ReproError
+    from repro.workloads import GeneratorSpec, generate
+
+    try:
+        spec = GeneratorSpec(
+            kind=args.kind.replace("-", "_"), seed=args.seed,
+            count=args.count, use_case=args.use_case,
+            tenants=args.tenants, model=args.model,
+            models=tuple(args.models) if args.models else None,
+            batches=tuple(args.batches) if args.batches else None)
+        scenarios = generate(spec)
+    except ReproError as exc:
+        return _report_error(exc, args.format)
+    documents = [scenario_to_dict(sc) for sc in scenarios]
+    if not args.output_dir:
+        payload = documents[0] if len(documents) == 1 else documents
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    out_dir = Path(args.output_dir)
+    paths = []
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for scenario, document in zip(scenarios, documents):
+            name = re.sub(r"[^A-Za-z0-9._-]+", "-", scenario.name)
+            path = out_dir / f"{name}.json"
+            save_json(document, path)
+            paths.append(path)
+    except OSError as exc:
+        return _report_error(exc, args.format)
+    if args.format == "json":
+        print(json.dumps({"kind": "generated_scenarios",
+                          "files": [str(p) for p in paths]},
+                         indent=2, sort_keys=True))
+    else:
+        for scenario, path in zip(scenarios, paths):
+            print(f"{path}: {scenario.name} "
+                  f"({', '.join(scenario.model_names)})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import scenario_spec
+    from repro.config import load_json, scenario_from_dict
+    from repro.errors import ConfigError, ReproError
+    from repro.sweep import ResultStore, SweepSpec, run_sweep, sweep_report
+
+    try:
+        if args.spec:
+            # The spec document carries the whole grid; reject every
+            # flag it replaces rather than silently ignoring it.
+            overridden = [flag for flag, value in (
+                ("--scenarios", args.scenarios),
+                ("--scenario-file", args.scenario_file),
+                ("--templates", args.templates),
+                ("--policies", args.policies),
+                ("--objectives", args.objectives),
+                ("--nsplits", args.nsplits),
+                ("--backends", args.backends),
+                ("--beams", args.beams),
+                ("--fast", args.fast or None),
+                ("--jobs", args.jobs if args.jobs != 1 else None),
+            ) if value]
+            if overridden:
+                raise ConfigError(
+                    "--spec replaces the grid flags; drop "
+                    + ", ".join(overridden))
+            spec = SweepSpec.from_dict(load_json(args.spec))
+        else:
+            scenarios: list = list(args.scenarios or [])
+            for path in args.scenario_file or []:
+                # Normalize through the scenario IR so the cell's
+                # cache key (store/memo identity) depends on the
+                # workload, not on the file's formatting or omitted
+                # optional keys.
+                scenarios.append(
+                    scenario_spec(scenario_from_dict(load_json(path))))
+            if not scenarios:
+                raise ConfigError(
+                    "sweep needs --spec, --scenarios or --scenario-file")
+            config = ExperimentConfig.fast() if args.fast \
+                else ExperimentConfig()
+            spec = SweepSpec(
+                scenarios=tuple(scenarios),
+                templates=tuple(args.templates or ["het_sides_3x3"]),
+                policies=tuple(args.policies or ["scar"]),
+                objectives=tuple(args.objectives or ["edp"]),
+                nsplits=tuple(args.nsplits) if args.nsplits
+                else (config.nsplits,),
+                backends=tuple(args.backends) if args.backends
+                else (None,),
+                beams=tuple(args.beams) if args.beams else (None,),
+                budget=config.budget, jobs=args.jobs)
+        store = ResultStore(args.store) if args.store else None
+        outcome = run_sweep(spec, store=store, workers=args.workers)
+    except ReproError as exc:
+        return _report_error(exc, args.format)
+    report = sweep_report(outcome)
+    if args.format == "json":
+        print(json.dumps(report.to_document(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if args.perf_stats and outcome.perf is not None:
+            print()
+            print(outcome.perf.render())
+    return 1 if outcome.failures else 0
 
 
 def _report_error(exc: Exception, output_format: str) -> int:
@@ -176,8 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sched = sub.add_parser("schedule",
                            help="schedule one scenario on one template")
-    sched.add_argument("--scenario", type=int, default=4,
-                       help="Table III scenario id (1-10)")
+    sched.add_argument("--scenario", type=int, default=None,
+                       help="Table III scenario id (1-10; default: 4)")
+    sched.add_argument("--scenario-file", default=None, metavar="JSON",
+                       help="schedule a scenario description file instead "
+                       "of a Table III id (e.g. one written by "
+                       "'scar generate')")
     sched.add_argument("--template", default="het_sides_3x3",
                        help="MCM template name")
     sched.add_argument("--policy", default="scar",
@@ -193,6 +332,88 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the schedule-result JSON document here")
     _add_engine_options(sched)
     _add_common_options(sched)
+
+    generate = sub.add_parser(
+        "generate",
+        help="generate seeded scenario description files")
+    generate.add_argument("--kind", default="random-mix",
+                          choices=("random-mix", "replicated"),
+                          help="scenario family (default: random-mix)")
+    generate.add_argument("--seed", type=int, default=0,
+                          help="generator seed (same seed = identical "
+                          "scenarios)")
+    generate.add_argument("--count", type=_positive_int, default=1,
+                          metavar="N",
+                          help="scenarios to generate (default: 1)")
+    generate.add_argument("--tenants", type=_positive_int, default=3,
+                          metavar="N",
+                          help="tenants per scenario (default: 3)")
+    generate.add_argument("--use-case", default="datacenter",
+                          choices=("datacenter", "arvr"),
+                          help="constrains the model/batch pools to the "
+                          "Table III families (default: datacenter)")
+    generate.add_argument("--model", default=None,
+                          help="replicated: the zoo model to replicate")
+    generate.add_argument("--models", type=_csv_strs, default=None,
+                          metavar="A,B,...",
+                          help="random-mix: override the model pool")
+    generate.add_argument("--batches", type=_csv_ints, default=None,
+                          metavar="N,M,...",
+                          help="override the batch pool (replicated: one "
+                          "tenant per batch)")
+    generate.add_argument("--output-dir", default=None, metavar="DIR",
+                          help="write one <scenario>.json per scenario "
+                          "(default: print the documents to stdout)")
+    generate.add_argument("--format", default="text",
+                          choices=("text", "json"),
+                          help="summary format with --output-dir")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scheduling campaign over a scenario/policy grid")
+    sweep.add_argument("--spec", default=None, metavar="JSON",
+                       help="load a sweep_spec document instead of the "
+                       "grid flags below")
+    sweep.add_argument("--scenarios", type=_csv_ints, default=None,
+                       metavar="1,2,...",
+                       help="Table III scenario ids to sweep")
+    sweep.add_argument("--scenario-file", action="append", default=None,
+                       metavar="JSON",
+                       help="add a scenario description file to the grid "
+                       "(repeatable)")
+    sweep.add_argument("--templates", type=_csv_strs, default=None,
+                       metavar="A,B,...",
+                       help="MCM templates (default: het_sides_3x3)")
+    sweep.add_argument("--policies", type=_csv_strs, default=None,
+                       metavar="A,B,...",
+                       help="scheduler policies (default: scar)")
+    sweep.add_argument("--objectives", type=_csv_strs, default=None,
+                       metavar="A,B,...",
+                       help="search objectives (default: edp)")
+    sweep.add_argument("--nsplits", type=_csv_ints, default=None,
+                       metavar="N,M,...",
+                       help="time-partitioning depths (default: from "
+                       "--fast/full config)")
+    sweep.add_argument("--backends", type=_csv_strs, default=None,
+                       metavar="A,B,...",
+                       help="engine execution backends (default: the "
+                       "session default)")
+    sweep.add_argument("--beams", type=_csv_ints, default=None,
+                       metavar="K,L,...",
+                       help="window-search beam widths (default: "
+                       "exhaustive)")
+    sweep.add_argument("--store", default=None, metavar="JSONL",
+                       help="resumable result store; finished cells are "
+                       "skipped on rerun")
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       metavar="N",
+                       help="service worker threads (default: 1; results "
+                       "are bit-identical across worker counts)")
+    sweep.add_argument("--format", default="text",
+                       choices=("text", "json"),
+                       help="report format (json: the sweep_report "
+                       "document)")
+    _add_common_options(sweep)
 
     serve = sub.add_parser("serve",
                            help="run the HTTP job-scheduling service")
@@ -246,6 +467,20 @@ _positive_int = _int_at_least(1, "a positive integer")
 _nonnegative_int = _int_at_least(0, "an integer")
 
 
+def _csv_ints(value: str) -> list[int]:
+    """An argparse type for comma-separated integer lists."""
+    try:
+        return [int(item) for item in value.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}") from None
+
+
+def _csv_strs(value: str) -> list[str]:
+    """An argparse type for comma-separated name lists."""
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
 def _backend_choices() -> tuple[str, ...]:
     from repro.engine import backend_names
 
@@ -286,6 +521,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
     config = ExperimentConfig.fast(jobs=args.jobs) if args.fast \

@@ -12,7 +12,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.schedule import Schedule, Segment, WindowSchedule
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkloadError
 from repro.mcm.chiplet import Chiplet
 from repro.mcm.package import MCM
 from repro.mcm.topology import Topology
@@ -85,17 +85,33 @@ def _layer_from_dict(data: dict[str, Any]) -> Layer:
     return Layer(**fields)
 
 
+def _rebuilds_from_zoo(model: Model) -> bool:
+    """True when ``zoo.build(model.name)`` reproduces ``model`` exactly."""
+    try:
+        return zoo.build(model.name) == model
+    except WorkloadError:
+        return False
+
+
 def scenario_to_dict(scenario: Scenario, *,
                      inline_layers: bool = False) -> dict[str, Any]:
     """Serialize a scenario.
 
-    By default models are referenced by zoo name (compact, Table III
-    style); ``inline_layers`` embeds every layer for custom models.
+    Models that rebuild bit-identically from the zoo are referenced by
+    name (compact, Table III style); custom or modified models have
+    their layers inlined automatically so the emitted document always
+    loads back through :func:`scenario_from_dict`.  ``inline_layers``
+    forces inlining for every model.  Tenants whose instance name
+    differs from their model name (the ``model#k`` convention) carry a
+    ``"name"`` entry.
     """
     instances = []
     for inst in scenario:
-        entry: dict[str, Any] = {"model": inst.name, "batch": inst.batch}
-        if inline_layers:
+        entry: dict[str, Any] = {"model": inst.model.name,
+                                 "batch": inst.batch}
+        if inst.instance_name is not None:
+            entry["name"] = inst.instance_name
+        if inline_layers or not _rebuilds_from_zoo(inst.model):
             entry["layers"] = [_layer_to_dict(layer)
                                for layer in inst.model.layers]
         instances.append(entry)
@@ -104,7 +120,12 @@ def scenario_to_dict(scenario: Scenario, *,
 
 
 def scenario_from_dict(data: dict[str, Any]) -> Scenario:
-    """Rebuild a scenario; models resolve from the zoo unless inlined."""
+    """Rebuild a scenario; models resolve from the zoo unless inlined.
+
+    Every malformed-document failure -- missing keys, an unknown zoo
+    model, a non-integer batch -- surfaces as :class:`ConfigError`, the
+    same contract as every other config loader in this module.
+    """
     try:
         instances = []
         for entry in data["models"]:
@@ -114,10 +135,11 @@ def scenario_from_dict(data: dict[str, Any]) -> Scenario:
                                            for l in entry["layers"]))
             else:
                 model = zoo.build(entry["model"])
-            instances.append(ModelInstance(model, entry.get("batch", 1)))
+            instances.append(ModelInstance(model, entry.get("batch", 1),
+                                           instance_name=entry.get("name")))
         return Scenario(name=data["name"], instances=tuple(instances),
                         use_case=data.get("use_case", "datacenter"))
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError, WorkloadError) as exc:
         raise ConfigError(f"malformed scenario config: {exc}") from exc
 
 

@@ -162,8 +162,9 @@ class Schedule:
                         f"outside scenario ({len(scenario)} models)")
                 if chain[0].start != cursors[model]:
                     raise ValidationError(
-                        f"model {model}: window {window.index} starts at "
-                        f"layer {chain[0].start}, expected {cursors[model]}")
+                        f"model {model} ({scenario[model].name}): window "
+                        f"{window.index} starts at layer {chain[0].start}, "
+                        f"expected {cursors[model]}")
                 cursors[model] = chain[-1].stop
                 for segment in chain:
                     if segment.node is None:
@@ -172,13 +173,16 @@ class Schedule:
                     if owner != model:
                         raise ValidationError(
                             f"window {window.index}: node {segment.node} "
-                            f"shared by models {owner} and {model}")
+                            f"shared by models {owner} "
+                            f"({scenario[owner].name}) and {model} "
+                            f"({scenario[model].name})")
         for model, cursor in enumerate(cursors):
             expected = scenario[model].num_layers
             if cursor != expected:
                 raise ValidationError(
-                    f"model {model} covers layers [0, {cursor}) but has "
-                    f"{expected} layers (Theorem 2 violation)")
+                    f"model {model} ({scenario[model].name}) covers layers "
+                    f"[0, {cursor}) but has {expected} layers (Theorem 2 "
+                    "violation)")
 
     def describe(self, scenario: Scenario) -> str:
         """Multi-line human-readable schedule dump (Fig. 9 style)."""

@@ -1,0 +1,31 @@
+"""Sweep orchestration: declarative scheduling campaigns at scale.
+
+The layer between workloads and the service: a declarative
+:class:`SweepSpec` grid (scenarios x templates x policies x engine
+knobs) expands into :class:`~repro.api.request.ScheduleRequest` cells,
+runs through the :class:`~repro.service.SchedulerService` worker pool,
+and lands in a resumable JSONL :class:`ResultStore` keyed by each
+cell's ``cache_key``::
+
+    from repro.sweep import ResultStore, SweepSpec, run_sweep, sweep_report
+
+    spec = SweepSpec(scenarios=(1, 2), policies=("scar", "standalone"))
+    store = ResultStore("campaign.jsonl")
+    outcome = run_sweep(spec, store=store, workers=4)
+    print(sweep_report(outcome).render())   # rerun: all cells skipped
+
+Experiment drivers reuse the same execution layer through
+:func:`run_requests` with explicit request lists.  See DESIGN.md
+("Scenario generation and sweeps").
+"""
+
+from repro.sweep.report import SweepReport, sweep_report
+from repro.sweep.runner import SweepOutcome, run_requests, run_sweep
+from repro.sweep.spec import SweepSpec, cell_scenario_label
+from repro.sweep.store import CELL_KIND, ResultStore
+
+__all__ = [
+    "CELL_KIND", "ResultStore", "SweepOutcome", "SweepReport",
+    "SweepSpec", "cell_scenario_label", "run_requests", "run_sweep",
+    "sweep_report",
+]

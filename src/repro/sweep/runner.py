@@ -1,0 +1,158 @@
+"""Sweep execution: the grid, through the service worker pool.
+
+:func:`run_requests` is the execution layer every campaign shares --
+the experiment drivers (Figs. 8/11/12) hand it explicit request lists,
+``scar sweep`` hands it a :class:`~repro.sweep.spec.SweepSpec` via
+:func:`run_sweep`.  Cells already present in the
+:class:`~repro.sweep.store.ResultStore` are *skipped* (their stored
+results are returned bit-identically); the rest run as jobs on a
+:class:`~repro.service.SchedulerService` worker pool over one
+:class:`~repro.api.Session`, so a sweep's per-cell results are
+bit-identical to serial ``Session.submit`` calls -- the service
+determinism contract.
+
+A failing cell does not abort the campaign: its error document is
+collected in :attr:`SweepOutcome.failures` and *nothing* is stored, so
+a rerun retries exactly the failed cells.  :attr:`SweepOutcome.perf`
+aggregates the session's engine counters for this run only -- on a
+fully-resumed sweep (every cell skipped) the segment-evaluation
+counters stay flat at zero, which is the cheap way to verify no cell
+was recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.api.request import ScheduleRequest, ScheduleResult
+from repro.api.session import Session
+from repro.api.wire import ErrorDocument
+from repro.errors import ReproError
+from repro.perf import PerfReport, aggregate_reports
+from repro.service.scheduler import SchedulerService
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep run produced.
+
+    ``results`` maps each cell's cache key to its result (stored or
+    freshly computed); ``failures`` maps failed cells to their error
+    documents.  ``computed``/``skipped``/``failed`` count cells (grid
+    duplicates count once per occurrence in ``requests``).
+    """
+
+    requests: tuple[ScheduleRequest, ...]
+    #: ``requests[i]``'s cache key -- computed once; the key dump of a
+    #: request with a large inlined scenario spec is not free.
+    keys: tuple[str, ...] = ()
+    results: dict[str, ScheduleResult] = field(default_factory=dict)
+    failures: dict[str, ErrorDocument] = field(default_factory=dict)
+    computed: int = 0
+    skipped: int = 0
+    perf: PerfReport | None = None
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            self.keys = tuple(request.cache_key()
+                              for request in self.requests)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for key in self.keys if key in self.failures)
+
+    def result_for(self, request: ScheduleRequest) -> ScheduleResult | None:
+        """The cell's result, or ``None`` if it failed this run."""
+        return self.results.get(request.cache_key())
+
+    def result_at(self, index: int) -> ScheduleResult:
+        """Cell ``index``'s result; a failed cell re-raises its typed
+        error -- the strict accessor the experiment drivers use."""
+        key = self.keys[index]
+        result = self.results.get(key)
+        if result is not None:
+            return result
+        error = self.failures.get(key)
+        if error is not None:
+            raise error.exception()
+        raise ReproError(f"sweep cell {index} has no result")
+
+    def ordered_results(self) -> list[ScheduleResult | None]:
+        """Results in request order (``None`` for failed cells)."""
+        return [self.results.get(key) for key in self.keys]
+
+
+def run_requests(requests: Iterable[ScheduleRequest], *,
+                 store: ResultStore | None = None,
+                 workers: int = 1,
+                 session: Session | None = None) -> SweepOutcome:
+    """Run a list of cells, skipping any already in ``store``.
+
+    ``workers`` sizes the service worker pool (results are
+    bit-identical to ``workers=1``); ``session`` lets callers share a
+    memo across campaigns.  Returns a :class:`SweepOutcome`; failed
+    cells are collected, not raised.
+    """
+    requests = tuple(requests)
+    session = session if session is not None else Session()
+    # Perf snapshot: outcome.perf must cover THIS run only, even on a
+    # caller-shared session whose log already holds earlier campaigns.
+    # Holding the snapshot list keeps its report objects alive, so the
+    # identity filter below stays exact even if the session's cap trims
+    # the log mid-run.
+    perf_before = list(session.perf_reports)
+    outcome = SweepOutcome(requests=requests)
+
+    pending: list[tuple[str, ScheduleRequest]] = []
+    pending_keys: set[str] = set()
+    for key, request in zip(outcome.keys, requests):
+        stored = None
+        if store is not None:
+            # get() parses the stored payload; a cell whose document no
+            # longer loads reports absent and is recomputed below.
+            stored = outcome.results.get(key) or store.get(key)
+        if stored is not None:
+            outcome.results[key] = stored
+            outcome.skipped += 1
+        elif key not in pending_keys:
+            pending_keys.add(key)
+            pending.append((key, request))
+
+    if pending:
+        with SchedulerService(session, workers=workers) as service:
+            handles = service.submit_many(
+                [request for _, request in pending])
+            for (key, request), handle in zip(pending, handles):
+                try:
+                    result = handle.result()
+                except ReproError as exc:
+                    outcome.failures[key] = \
+                        ErrorDocument.from_exception(exc)
+                    continue
+                outcome.results[key] = result
+                if store is not None:
+                    store.record(result, key=key)
+    # Cells whose key was computed (not failed) this run, in grid terms:
+    outcome.computed = sum(
+        1 for key in outcome.keys
+        if key in pending_keys and key in outcome.results)
+    # Aggregate only the reports this run appended (trim-proof: by
+    # object identity against the held snapshot).
+    before_ids = {id(report) for report in perf_before}
+    outcome.perf = aggregate_reports(
+        [report for report in list(session.perf_reports)
+         if id(report) not in before_ids])
+    return outcome
+
+
+def run_sweep(spec: SweepSpec, *,
+              store: ResultStore | None = None,
+              workers: int = 1,
+              session: Session | None = None) -> SweepOutcome:
+    """Expand a :class:`SweepSpec` grid and run it (see
+    :func:`run_requests`)."""
+    return run_requests(spec.requests(), store=store, workers=workers,
+                        session=session)

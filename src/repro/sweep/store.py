@@ -1,0 +1,123 @@
+"""Append-only JSONL result store: what makes sweeps resumable.
+
+One line per finished cell::
+
+    {"kind": "sweep_cell", "version": 1,
+     "key": "<ScheduleRequest.cache_key()>",
+     "result": {<schedule_result wire document>}}
+
+The key is the request's canonical wire form, so a rerun of the same
+spec recognizes finished cells regardless of how the grid was produced,
+and a stored result rebuilds bit-identically through
+:meth:`~repro.api.request.ScheduleResult.from_dict` (the wire round-trip
+is exact on the determinism payload).
+
+Loading is tolerant of a torn final line -- the signature of a run
+killed mid-append -- and of stray blank lines; any skipped garbage is
+counted in :attr:`ResultStore.corrupt_lines` rather than aborting the
+campaign.  Appends flush per line, so at most the line being written
+when the process died is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.api.request import ScheduleResult
+from repro.api.wire import WIRE_VERSION
+from repro.errors import ConfigError
+
+#: Document kind of one stored cell line.
+CELL_KIND = "sweep_cell"
+
+
+class ResultStore:
+    """JSONL-backed map ``cache_key -> schedule-result document``.
+
+    Results are kept as raw wire documents and parsed to
+    :class:`ScheduleResult` on access, so loading a large store stays
+    cheap.  Recording an already-stored key is a no-op (duplicate grid
+    cells never duplicate lines).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._documents: dict[str, dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if (not isinstance(entry, dict)
+                        or entry.get("kind") != CELL_KIND
+                        or not isinstance(entry.get("key"), str)
+                        or not isinstance(entry.get("result"), dict)):
+                    self.corrupt_lines += 1
+                    continue
+                self._documents[entry["key"]] = entry["result"]
+
+    # -- mapping surface ---------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._documents)
+
+    def get(self, key: str) -> ScheduleResult | None:
+        """Rebuild the stored result for ``key`` (``None`` if absent).
+
+        A stored document that no longer parses -- a wire-version bump,
+        mid-file corruption that still decoded as JSON -- is dropped
+        (counted in :attr:`corrupt_lines`) and reported as absent, so
+        the runner recomputes and re-records the cell instead of
+        aborting the campaign.
+        """
+        document = self._documents.get(key)
+        if document is None:
+            return None
+        try:
+            return ScheduleResult.from_dict(document)
+        except ConfigError:
+            del self._documents[key]
+            self.corrupt_lines += 1
+            return None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, result: ScheduleResult, *,
+               key: str | None = None) -> None:
+        """Persist one finished cell (idempotent per cache key).
+
+        ``key`` lets callers that already computed the request's cache
+        key (the runner) skip re-serializing the request document.
+        """
+        if key is None:
+            key = result.request.cache_key()
+        if key in self._documents:
+            return
+        document = result.to_dict()
+        line = json.dumps({"kind": CELL_KIND, "version": WIRE_VERSION,
+                           "key": key, "result": document},
+                          sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        self._documents[key] = document

@@ -1,4 +1,5 @@
-"""Workload substrate: layer IR, models, zoo and the Table III scenarios."""
+"""Workload substrate: layer IR, models, zoo, Table III scenarios and
+the seeded scenario generator."""
 
 from repro.workloads.layer import (
     Layer,
@@ -22,11 +23,20 @@ from repro.workloads.scenarios import (
     datacenter_scenarios,
     scenario,
     scenario_ids,
+    use_case_batches,
+    use_case_models,
+)
+from repro.workloads.generator import (
+    GeneratorSpec,
+    generate,
+    random_mix,
+    replicated,
 )
 
 __all__ = [
-    "ARVR_IDS", "DATACENTER_IDS", "Layer", "LayerOp", "Model",
-    "ModelInstance", "Scenario", "arvr_scenarios", "conv",
-    "datacenter_scenarios", "dwconv", "elemwise", "gemm", "pool",
-    "scenario", "scenario_ids", "scheduling_space_magnitude",
+    "ARVR_IDS", "DATACENTER_IDS", "GeneratorSpec", "Layer", "LayerOp",
+    "Model", "ModelInstance", "Scenario", "arvr_scenarios", "conv",
+    "datacenter_scenarios", "dwconv", "elemwise", "gemm", "generate",
+    "pool", "random_mix", "replicated", "scenario", "scenario_ids",
+    "scheduling_space_magnitude", "use_case_batches", "use_case_models",
 ]

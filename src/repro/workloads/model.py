@@ -74,20 +74,48 @@ class Model:
 
 @dataclass(frozen=True)
 class ModelInstance:
-    """A model bound to the batch size a scenario executes it with."""
+    """A model bound to the batch size a scenario executes it with.
+
+    ``instance_name`` makes the tenant addressable when a scenario runs
+    several instances of the same model (the ``model#k`` convention of
+    generated multi-tenant workloads: ``resnet50``, ``resnet50#2``, ...).
+    ``None`` means the instance is simply known by its model's name;
+    an explicit name equal to the model name normalizes back to ``None``
+    so wire round-trips compare equal.
+    """
 
     model: Model
     batch: int = 1
+    instance_name: str | None = None
 
     def __post_init__(self) -> None:
+        # bool is an int subclass: reject it explicitly, then anything
+        # non-integral -- a float batch silently poisons total_macs and
+        # every batched layer shape downstream.
+        if isinstance(self.batch, bool) or not isinstance(self.batch, int):
+            raise WorkloadError(
+                f"instance of {self.model.name!r}: batch must be an int, "
+                f"got {self.batch!r} ({type(self.batch).__name__})"
+            )
         if self.batch < 1:
             raise WorkloadError(
                 f"instance of {self.model.name!r}: batch must be >= 1"
             )
+        if self.instance_name is not None:
+            if not isinstance(self.instance_name, str) \
+                    or not self.instance_name:
+                raise WorkloadError(
+                    f"instance of {self.model.name!r}: instance_name must "
+                    f"be a non-empty string, got {self.instance_name!r}"
+                )
+            if self.instance_name == self.model.name:
+                object.__setattr__(self, "instance_name", None)
 
     @property
     def name(self) -> str:
-        return self.model.name
+        """The tenant-unique name schedules and lookups key on."""
+        return self.instance_name if self.instance_name is not None \
+            else self.model.name
 
     @property
     def num_layers(self) -> int:
@@ -126,7 +154,9 @@ class Scenario:
         names = [inst.name for inst in self.instances]
         if len(set(names)) != len(names):
             raise WorkloadError(
-                f"scenario {self.name!r} has duplicate model names: {names}"
+                f"scenario {self.name!r} has duplicate instance names: "
+                f"{names}; give repeated tenants unique instance names "
+                f"(the 'model#k' convention, e.g. 'resnet50#2')"
             )
 
     def __len__(self) -> int:
@@ -140,6 +170,12 @@ class Scenario:
 
     @property
     def model_names(self) -> tuple[str, ...]:
+        """Tenant-unique instance names, in instance order.
+
+        For single-tenant scenarios these are plain model names; a
+        scenario running the same model twice reports e.g.
+        ``("resnet50", "resnet50#2")``.
+        """
         return tuple(inst.name for inst in self.instances)
 
     @property
@@ -148,12 +184,13 @@ class Scenario:
         return sum(inst.num_layers for inst in self.instances)
 
     def instance(self, model_name: str) -> ModelInstance:
-        """Look up a model instance by model name."""
+        """Look up a model instance by its (tenant-unique) instance name."""
         for inst in self.instances:
             if inst.name == model_name:
                 return inst
         raise WorkloadError(
-            f"scenario {self.name!r} has no model named {model_name!r}"
+            f"scenario {self.name!r} has no instance named {model_name!r}; "
+            f"instances: {list(self.model_names)}"
         )
 
     def summary(self) -> str:

@@ -63,6 +63,35 @@ def scenario(scenario_id: int) -> Scenario:
                     use_case=use_case)
 
 
+def use_case_models(use_case: str) -> tuple[str, ...]:
+    """Zoo models Table III pairs with ``use_case`` (sorted, unique).
+
+    The generator's use-case-constrained samplers draw from these pools,
+    so generated workloads stay within the model families the paper
+    evaluates for that deployment (datacenter MLPerf vs XRBench AR/VR).
+    """
+    names = {name
+             for _, case, models in _SPECS.values() if case == use_case
+             for name, _ in models}
+    if not names:
+        cases = sorted({case for _, case, _ in _SPECS.values()})
+        raise WorkloadError(
+            f"unknown use case {use_case!r}; known: {cases}")
+    return tuple(sorted(names))
+
+
+def use_case_batches(use_case: str) -> tuple[int, ...]:
+    """Batch sizes Table III runs ``use_case`` models at (sorted, unique)."""
+    batches = {batch
+               for _, case, models in _SPECS.values() if case == use_case
+               for _, batch in models}
+    if not batches:
+        cases = sorted({case for _, case, _ in _SPECS.values()})
+        raise WorkloadError(
+            f"unknown use case {use_case!r}; known: {cases}")
+    return tuple(sorted(batches))
+
+
 def datacenter_scenarios() -> tuple[Scenario, ...]:
     """Scenarios 1-5 (MLPerf datacenter multi-tenancy)."""
     return tuple(scenario(i) for i in DATACENTER_IDS)

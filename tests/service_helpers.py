@@ -26,6 +26,21 @@ def request_for(tiny_scenario, small_budget, policy,
         **overrides)
 
 
+def replicated_request(small_budget, policy="scar",
+                       **overrides) -> ScheduleRequest:
+    """A quick multi-tenant request: two tenants of one zoo model.
+
+    The generated-workload shape (``model#k`` instance names, see
+    :func:`repro.workloads.replicated`), so the parity suites also
+    cover scenarios the Table III set cannot express."""
+    from repro.workloads import replicated
+
+    overrides.setdefault("template", "het_sides_3x3")
+    return ScheduleRequest.for_scenario(
+        replicated("eyecod", (30, 60), use_case="arvr"), policy=policy,
+        budget=small_budget, nsplits=1, **overrides)
+
+
 def assert_equivalent(a, b):
     """Result equality minus ``raw`` and the nondeterministic perf wall
     times — the service determinism contract.  The granular asserts give

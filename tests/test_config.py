@@ -49,6 +49,44 @@ class TestScenarioRoundTrip:
         with pytest.raises(ConfigError):
             scenario_from_dict({"name": "x"})
 
+    def test_unknown_model_is_config_error(self):
+        """Regression: the unknown-zoo-model path used to leak a raw
+        WorkloadError instead of the malformed-config contract."""
+        with pytest.raises(ConfigError, match="mynet"):
+            scenario_from_dict({"name": "x", "models": [
+                {"model": "mynet", "batch": 1}]})
+
+    @pytest.mark.parametrize("batch", [2.5, True, "3"])
+    def test_non_int_batch_is_config_error(self, batch):
+        """Float/bool batches must be rejected at the wire boundary."""
+        with pytest.raises(ConfigError, match="batch"):
+            scenario_from_dict({"name": "x", "models": [
+                {"model": "resnet50", "batch": batch}]})
+
+    def test_custom_model_auto_inlines(self, tiny_scenario):
+        """Regression: a compact document referencing non-zoo models used
+        to be emitted and then fail to load; custom models now inline
+        automatically and the round-trip is exact."""
+        data = scenario_to_dict(tiny_scenario)
+        for entry in data["models"]:
+            assert "layers" in entry  # tinyconv/tinygemm are not zoo models
+        assert scenario_from_dict(data) == tiny_scenario
+
+    def test_zoo_model_stays_compact(self):
+        data = scenario_to_dict(scenario(1))
+        assert all("layers" not in entry for entry in data["models"])
+
+    def test_instance_names_round_trip(self):
+        from repro.workloads import replicated
+
+        sc = replicated("eyecod", (30, 60, 60), use_case="arvr")
+        data = scenario_to_dict(sc)
+        names = [entry.get("name") for entry in data["models"]]
+        assert names == [None, "eyecod#2", "eyecod#3"]
+        rebuilt = scenario_from_dict(data)
+        assert rebuilt == sc
+        assert rebuilt.model_names == ("eyecod", "eyecod#2", "eyecod#3")
+
 
 class TestScheduleRoundTrip:
     def test_round_trip(self):

@@ -66,3 +66,52 @@ def test_golden_snapshot_parallel(tiny_scenario, het_mcm, packing,
     assert result.metrics.energy_j == pytest.approx(energy, abs=1e-9,
                                                     rel=1e-9)
     assert result.metrics.edp == pytest.approx(edp, abs=1e-9, rel=1e-9)
+
+
+class TestGeneratedReplicatedParity:
+    """The multi-tenant extension of the determinism contract: a seeded
+    generated scenario running the *same* zoo model twice (``model#k``
+    instance names) schedules bit-identically end to end -- through the
+    wire file form, serially, with the parallel window search, and on
+    the pooled job service."""
+
+    def _request(self, tmp_path):
+        from repro.api import ScheduleRequest
+        from repro.config import (
+            load_json,
+            save_json,
+            scenario_from_dict,
+            scenario_to_dict,
+        )
+        from repro.workloads import replicated
+
+        scenario = replicated("eyecod", (30, 60), use_case="arvr")
+        path = tmp_path / "scenario.json"
+        save_json(scenario_to_dict(scenario), path)
+        loaded = scenario_from_dict(load_json(path))
+        assert loaded == scenario  # the file round-trip is exact
+        return loaded, ScheduleRequest.for_scenario(
+            loaded, template="het_sides_3x3", nsplits=1,
+            budget=GOLDEN_BUDGET)
+
+    def test_serial_vs_parallel_vs_pooled_service(self, tmp_path):
+        from repro.api import Session
+        from repro.service import SchedulerService
+
+        loaded, request = self._request(tmp_path)
+        serial = Session().submit(request)
+        # The duplicated-tenant schedule is a valid layer partition.
+        serial.schedule.validate(loaded)
+        assert serial.request.resolve_scenario() == loaded
+
+        # jobs=2 fans the window search over worker processes; jobs is
+        # part of the request (and cache key), so compare the payload.
+        parallel = Session().submit(request.replace(jobs=2))
+        assert parallel.schedule == serial.schedule
+        assert parallel.metrics == serial.metrics
+        assert parallel.window_candidates == serial.window_candidates
+        assert parallel.num_evaluated == serial.num_evaluated
+
+        with SchedulerService(Session(), workers=2) as service:
+            pooled = service.submit(request).result()
+        assert pooled.same_payload(serial)

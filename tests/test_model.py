@@ -65,6 +65,32 @@ class TestModelInstance:
         with pytest.raises(WorkloadError):
             ModelInstance(_model(), batch=0)
 
+    @pytest.mark.parametrize("batch", [True, False, 2.5, 1.0, "3", None])
+    def test_non_int_batch_rejected(self, batch):
+        """bool/float/str batches must not poison total_macs (regression:
+        ``batch=True`` and ``batch=2.5`` used to be accepted)."""
+        with pytest.raises(WorkloadError, match="must be an int"):
+            ModelInstance(_model(), batch=batch)
+
+    def test_instance_name_defaults_to_model_name(self):
+        inst = ModelInstance(_model("net"))
+        assert inst.name == "net" and inst.instance_name is None
+
+    def test_instance_name_overrides(self):
+        inst = ModelInstance(_model("net"), 2, instance_name="net#2")
+        assert inst.name == "net#2"
+
+    def test_instance_name_equal_to_model_name_normalizes(self):
+        """Explicitly naming the instance after its model compares equal
+        to the default-named instance (wire round-trip exactness)."""
+        assert ModelInstance(_model("net"), 2, instance_name="net") \
+            == ModelInstance(_model("net"), 2)
+
+    @pytest.mark.parametrize("name", ["", 7])
+    def test_bad_instance_name_rejected(self, name):
+        with pytest.raises(WorkloadError, match="instance_name"):
+            ModelInstance(_model(), instance_name=name)
+
 
 class TestScenario:
     def test_lookup_by_name(self):
@@ -78,6 +104,21 @@ class TestScenario:
         with pytest.raises(WorkloadError, match="duplicate"):
             Scenario(name="s", instances=(
                 ModelInstance(_model("a")), ModelInstance(_model("a"))))
+
+    def test_repeated_model_with_instance_names_allowed(self):
+        """Multi-tenant scenarios: same model twice under model#k names."""
+        sc = Scenario(name="s", instances=(
+            ModelInstance(_model("a"), 1),
+            ModelInstance(_model("a"), 8, instance_name="a#2")))
+        assert sc.model_names == ("a", "a#2")
+        assert sc.instance("a#2").batch == 8
+        assert sc.instance("a").batch == 1
+
+    def test_duplicate_instance_names_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Scenario(name="s", instances=(
+                ModelInstance(_model("a"), instance_name="x"),
+                ModelInstance(_model("b"), instance_name="x")))
 
     def test_empty_scenario_rejected(self):
         with pytest.raises(WorkloadError):

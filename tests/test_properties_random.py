@@ -190,3 +190,49 @@ class TestDeltaEvaluationParity:
         assert delta.stats.num_segments_recosted \
             < delta.stats.num_segments
         assert delta.cache.stats["chain"].hits > 0
+
+
+class TestGeneratorProperties:
+    """Randomized determinism/round-trip invariants of the scenario
+    generator: same seed => identical scenario, tenant-unique instance
+    names, exact wire round-trip, pools respected."""
+
+    def test_random_mix_determinism_and_roundtrip(self):
+        from repro.config import scenario_from_dict, scenario_to_dict
+        from repro.workloads.generator import random_mix
+        from repro.workloads.scenarios import (
+            use_case_batches,
+            use_case_models,
+        )
+
+        rng = random.Random(1234)
+        for _ in range(50):
+            seed = rng.randrange(10 ** 6)
+            tenants = rng.randint(1, 8)
+            use_case = rng.choice(["datacenter", "arvr"])
+            a = random_mix(seed, tenants=tenants, use_case=use_case)
+            assert a == random_mix(seed, tenants=tenants,
+                                   use_case=use_case)
+            assert scenario_from_dict(scenario_to_dict(a)) == a
+            assert len(set(a.model_names)) == tenants
+            models = set(use_case_models(use_case))
+            batches = set(use_case_batches(use_case))
+            for inst in a:
+                assert inst.model.name in models
+                assert inst.batch in batches
+
+    def test_replicated_roundtrip(self):
+        from repro.config import scenario_from_dict, scenario_to_dict
+        from repro.workloads.generator import replicated
+        from repro.workloads.scenarios import use_case_models
+
+        rng = random.Random(99)
+        for _ in range(25):
+            use_case = rng.choice(["datacenter", "arvr"])
+            model = rng.choice(use_case_models(use_case))
+            batches = tuple(rng.randint(1, 64)
+                            for _ in range(rng.randint(1, 6)))
+            sc = replicated(model, batches, use_case=use_case)
+            assert sc == replicated(model, batches, use_case=use_case)
+            assert scenario_from_dict(scenario_to_dict(sc)) == sc
+            assert len(set(sc.model_names)) == len(batches)

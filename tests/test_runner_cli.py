@@ -186,6 +186,170 @@ class TestCLI:
         assert "Traceback" not in err
 
 
+class TestGenerateCLI:
+    def test_writes_loadable_scenario_files(self, capsys, tmp_path):
+        from repro.config import load_json, scenario_from_dict
+
+        out_dir = tmp_path / "scenarios"
+        code = main(["generate", "--kind", "replicated", "--model",
+                     "eyecod", "--batches", "30,60", "--use-case", "arvr",
+                     "--output-dir", str(out_dir)])
+        assert code == 0
+        files = sorted(out_dir.glob("*.json"))
+        assert len(files) == 1
+        scenario = scenario_from_dict(load_json(files[0]))
+        assert scenario.model_names == ("eyecod", "eyecod#2")
+        assert "eyecod#2" in capsys.readouterr().out
+
+    def test_stdout_document_is_deterministic(self, capsys):
+        assert main(["generate", "--seed", "5", "--tenants", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["generate", "--seed", "5", "--tenants", "2"]) == 0
+        assert capsys.readouterr().out == first
+        from repro.config import scenario_from_dict
+
+        scenario_from_dict(json.loads(first))  # loads as a scenario doc
+
+    def test_replicated_without_model_is_an_error(self, capsys):
+        code = main(["generate", "--kind", "replicated", "--format",
+                     "json"])
+        assert code == 1
+        from repro.api import ErrorDocument
+
+        doc = ErrorDocument.from_json(capsys.readouterr().out)
+        assert doc.code == "config_error"
+
+
+class TestScheduleScenarioFile:
+    def _write_scenario(self, tmp_path):
+        from repro.config import save_json, scenario_to_dict
+        from repro.workloads import replicated
+
+        path = tmp_path / "scenario.json"
+        save_json(scenario_to_dict(
+            replicated("eyecod", (30, 60), use_case="arvr")), path)
+        return path
+
+    def test_schedules_generated_file(self, capsys, tmp_path):
+        from repro.api import ScheduleResult
+
+        path = self._write_scenario(tmp_path)
+        code = main(["schedule", "--scenario-file", str(path), "--fast",
+                     "--format", "json"])
+        assert code == 0
+        result = ScheduleResult.from_json(capsys.readouterr().out)
+        assert result.request.scenario_id is None
+        names = [entry.get("name", entry["model"]) for entry in
+                 result.request.scenario_spec["models"]]
+        assert names == ["eyecod", "eyecod#2"]
+        assert result.metrics.latency_s > 0
+
+    def test_scenario_and_file_are_exclusive(self, capsys, tmp_path):
+        path = self._write_scenario(tmp_path)
+        code = main(["schedule", "--scenario", "1", "--scenario-file",
+                     str(path), "--fast"])
+        assert code == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_malformed_file_emits_error_document(self, capsys, tmp_path):
+        from repro.api import ErrorDocument
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "models": [{"model": "mynet"}]}')
+        code = main(["schedule", "--scenario-file", str(bad), "--fast",
+                     "--format", "json"])
+        assert code == 1
+        doc = ErrorDocument.from_json(capsys.readouterr().out)
+        assert doc.code == "config_error"
+        assert "mynet" in doc.message
+
+    def test_scenario_defaults_to_none_in_parser(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.scenario is None and args.scenario_file is None
+
+
+class TestSweepCLI:
+    def _generate(self, tmp_path):
+        out_dir = tmp_path / "scenarios"
+        assert main(["generate", "--kind", "replicated", "--model",
+                     "eyecod", "--batches", "30,60", "--use-case",
+                     "arvr", "--output-dir", str(out_dir)]) == 0
+        (path,) = out_dir.glob("*.json")
+        return path
+
+    def test_sweep_and_resume_skips_all_cells(self, capsys, tmp_path):
+        scenario = self._generate(tmp_path)
+        store = tmp_path / "campaign.jsonl"
+        argv = ["sweep", "--scenario-file", str(scenario), "--policies",
+                "scar,standalone", "--nsplits", "1", "--fast", "--store",
+                str(store), "--workers", "2", "--format", "json"]
+        capsys.readouterr()  # drop the generate output
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cells"] == 2 and first["computed"] == 2
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0 and second["skipped"] == 2
+        # Resume verification: the engine's segment-eval counter is flat.
+        assert second["num_segments"] == 0
+        assert [row["edp"] for row in second["rows"]] \
+            == [row["edp"] for row in first["rows"]]
+
+    def test_sweep_without_scenarios_is_an_error(self, capsys):
+        code = main(["sweep", "--fast", "--format", "json"])
+        assert code == 1
+        from repro.api import ErrorDocument
+
+        doc = ErrorDocument.from_json(capsys.readouterr().out)
+        assert doc.code == "config_error"
+
+    def test_sweep_spec_file_replaces_grid_flags(self, capsys, tmp_path):
+        from repro.api import scenario_spec
+        from repro.core.budget import QUICK_BUDGET
+        from repro.sweep import SweepSpec
+        from repro.workloads import replicated
+
+        spec = SweepSpec(
+            scenarios=(scenario_spec(
+                replicated("eyecod", (30,), use_case="arvr")),),
+            nsplits=(1,), budget=QUICK_BUDGET)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        assert main(["sweep", "--spec", str(spec_path), "--format",
+                     "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cells"] == 1 and doc["computed"] == 1
+        code = main(["sweep", "--spec", str(spec_path), "--scenarios",
+                     "1", "--format", "json"])
+        assert code == 1  # grid flags alongside --spec are rejected
+        for flag in (["--policies", "scar"], ["--fast"], ["--jobs", "2"]):
+            capsys.readouterr()
+            assert main(["sweep", "--spec", str(spec_path), "--format",
+                         "json", *flag]) == 1
+
+    def test_scenario_files_normalize_to_workload_identity(self, capsys,
+                                                           tmp_path):
+        """Two cosmetically different files for the same workload share
+        one store cell: the cache key is the normalized spec, not the
+        file text."""
+        sparse = tmp_path / "sparse.json"
+        sparse.write_text('{"name": "w", "models": [{"model": "eyecod"}]}')
+        explicit = tmp_path / "explicit.json"
+        explicit.write_text(json.dumps({
+            "name": "w", "use_case": "datacenter",
+            "models": [{"model": "eyecod", "batch": 1}]}))
+        store = tmp_path / "c.jsonl"
+        base = ["--nsplits", "1", "--fast", "--store", str(store),
+                "--format", "json"]
+        assert main(["sweep", "--scenario-file", str(sparse), *base]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["computed"] == 1
+        assert main(["sweep", "--scenario-file", str(explicit),
+                     *base]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0 and second["skipped"] == 1
+
+
 class TestPositiveInt:
     @pytest.mark.parametrize("value,parsed", [("1", 1), ("8", 8)])
     def test_accepts_positive(self, value, parsed):

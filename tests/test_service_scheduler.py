@@ -25,6 +25,7 @@ from service_helpers import (
     POLICIES,
     assert_equivalent,
     gated_registry,
+    replicated_request,
     request_for,
 )
 
@@ -37,6 +38,17 @@ class TestParity:
                     for policy in POLICIES]
         reference = [Session().submit(r) for r in requests]
         with SchedulerService(workers=workers) as service:
+            handles = service.submit_many(requests)
+            results = [h.result(timeout=600) for h in handles]
+        for got, want in zip(results, reference):
+            assert_equivalent(got, want)
+
+    def test_replicated_tenants_match_session_submit(self, small_budget):
+        """The multi-tenant (model#k) shape holds the same contract."""
+        requests = [replicated_request(small_budget, policy)
+                    for policy in POLICIES]
+        reference = [Session().submit(r) for r in requests]
+        with SchedulerService(workers=3) as service:
             handles = service.submit_many(requests)
             results = [h.result(timeout=600) for h in handles]
         for got, want in zip(results, reference):

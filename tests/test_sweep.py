@@ -1,0 +1,243 @@
+"""Tests for the sweep orchestration layer (repro.sweep)."""
+
+import json
+
+import pytest
+
+from repro.api import ScheduleRequest, Session, scenario_spec
+from repro.core.budget import SearchBudget
+from repro.errors import ConfigError
+from repro.sweep import (
+    ResultStore,
+    SweepSpec,
+    run_requests,
+    run_sweep,
+    sweep_report,
+)
+
+
+@pytest.fixture
+def tiny_spec(tiny_scenario, small_budget) -> SweepSpec:
+    """A 1x2x... grid over the tiny fixture workload (4 cells)."""
+    return SweepSpec(scenarios=(scenario_spec(tiny_scenario),),
+                     templates=("het_sides_3x3",),
+                     policies=("scar", "standalone"),
+                     nsplits=(1, 2),
+                     budget=small_budget)
+
+
+class TestSweepSpec:
+    def test_grid_expansion_order_and_size(self, tiny_spec):
+        requests = tiny_spec.requests()
+        assert len(requests) == tiny_spec.size == 4
+        assert [(r.policy, r.nsplits) for r in requests] == [
+            ("scar", 1), ("scar", 2), ("standalone", 1),
+            ("standalone", 2)]
+        assert all(isinstance(r, ScheduleRequest) for r in requests)
+
+    def test_wire_round_trip(self, tiny_spec):
+        rebuilt = SweepSpec.from_json(tiny_spec.to_json())
+        assert rebuilt == tiny_spec
+        assert [r.cache_key() for r in rebuilt.requests()] \
+            == [r.cache_key() for r in tiny_spec.requests()]
+
+    def test_table3_ids_and_inline_specs_mix(self, tiny_scenario):
+        spec = SweepSpec(scenarios=(1, scenario_spec(tiny_scenario)))
+        requests = spec.requests()
+        assert requests[0].scenario_id == 1
+        assert requests[1].scenario_spec is not None
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            SweepSpec(scenarios=())
+
+    def test_scalar_axis_rejected(self, tiny_scenario):
+        with pytest.raises(ConfigError):
+            SweepSpec(scenarios=1)
+
+    def test_bad_scenario_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(scenarios=("sc1",))
+
+    def test_bad_envelope_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec.from_dict({"kind": "something_else", "version": 1})
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path, tiny_spec):
+        store = ResultStore(tmp_path / "s.jsonl")
+        outcome = run_sweep(tiny_spec, store=store)
+        key = tiny_spec.requests()[0].cache_key()
+        reloaded = ResultStore(tmp_path / "s.jsonl")
+        assert len(reloaded) == 4
+        assert reloaded.get(key).same_payload(outcome.results[key])
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "missing.jsonl")
+        assert len(store) == 0 and store.get("nope") is None
+
+    def test_torn_final_line_is_tolerated(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        run_sweep(tiny_spec, store=store)
+        with path.open("a") as handle:
+            handle.write('{"kind": "sweep_cell", "key": "x", "resu')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 4
+        assert reloaded.corrupt_lines == 1
+
+    def test_unparsable_stored_result_is_recomputed(self, tmp_path,
+                                                    tiny_spec):
+        """A cell whose stored payload no longer parses (wire-version
+        bump, mangled mid-file) is recomputed and re-recorded, not a
+        campaign abort."""
+        path = tmp_path / "s.jsonl"
+        run_sweep(tiny_spec, store=ResultStore(path))
+        key = tiny_spec.requests()[0].cache_key()
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[0])
+        assert doc["key"] == key
+        doc["result"]["version"] = 999  # future wire version
+        path.write_text("\n".join([json.dumps(doc)] + lines[1:]) + "\n")
+        store = ResultStore(path)
+        outcome = run_sweep(tiny_spec, store=store)
+        assert outcome.computed == 1 and outcome.skipped == 3
+        assert store.corrupt_lines == 1
+        # The recomputed cell was re-recorded; a fresh rerun skips all.
+        again = run_sweep(tiny_spec, store=ResultStore(path))
+        assert again.computed == 0 and again.skipped == 4
+
+    def test_record_is_idempotent(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        outcome = run_sweep(tiny_spec, store=store)
+        result = next(iter(outcome.results.values()))
+        before = path.read_text()
+        store.record(result)
+        assert path.read_text() == before
+
+
+class TestRunSweep:
+    def test_first_run_computes_everything(self, tmp_path, tiny_spec):
+        outcome = run_sweep(tiny_spec,
+                            store=ResultStore(tmp_path / "s.jsonl"))
+        assert outcome.computed == 4
+        assert outcome.skipped == 0 and outcome.failed == 0
+        assert all(result is not None
+                   for result in outcome.ordered_results())
+
+    def test_resume_skips_everything_bit_identically(self, tmp_path,
+                                                     tiny_spec):
+        path = tmp_path / "s.jsonl"
+        first = run_sweep(tiny_spec, store=ResultStore(path))
+        second = run_sweep(tiny_spec, store=ResultStore(path))
+        assert second.computed == 0 and second.skipped == 4
+        # Segment-eval counters stay flat: nothing was recomputed.
+        assert second.perf.num_segments == 0
+        for a, b in zip(first.ordered_results(),
+                        second.ordered_results()):
+            assert a.same_payload(b)
+
+    def test_partial_store_resumes_only_missing_cells(self, tmp_path,
+                                                      tiny_spec):
+        path = tmp_path / "s.jsonl"
+        requests = tiny_spec.requests()
+        run_requests(requests[:2], store=ResultStore(path))
+        outcome = run_sweep(tiny_spec, store=ResultStore(path))
+        assert outcome.skipped == 2 and outcome.computed == 2
+
+    def test_workers_are_bit_identical_to_serial(self, tiny_spec):
+        serial = run_sweep(tiny_spec)
+        pooled = run_sweep(tiny_spec, workers=3)
+        for a, b in zip(serial.ordered_results(),
+                        pooled.ordered_results()):
+            assert a.same_payload(b)
+
+    def test_no_store_recomputes(self, tiny_spec):
+        outcome = run_sweep(tiny_spec)
+        assert outcome.computed == 4 and outcome.skipped == 0
+
+    def test_duplicate_cells_compute_once(self, tiny_scenario,
+                                          small_budget):
+        spec = scenario_spec(tiny_scenario)
+        request = ScheduleRequest(scenario_spec=spec, nsplits=1,
+                                  budget=small_budget)
+        outcome = run_requests([request, request])
+        assert outcome.computed == 2  # both grid cells resolved...
+        assert len(outcome.results) == 1  # ...by one unique run
+
+    def test_failed_cell_is_collected_not_raised(self, tiny_scenario,
+                                                 small_budget):
+        good = ScheduleRequest(scenario_spec=scenario_spec(tiny_scenario),
+                               nsplits=1, budget=small_budget)
+        bad = good.replace(template="no_such_template")
+        outcome = run_requests([good, bad])
+        assert outcome.failed == 1
+        assert outcome.result_for(good) is not None
+        assert outcome.result_for(bad) is None
+        error = outcome.failures[bad.cache_key()]
+        assert error.code == "config_error"
+
+    def test_failed_cell_not_stored_and_retried(self, tmp_path,
+                                                tiny_scenario,
+                                                small_budget):
+        store = ResultStore(tmp_path / "s.jsonl")
+        bad = ScheduleRequest(scenario_spec=scenario_spec(tiny_scenario),
+                              nsplits=1, budget=small_budget,
+                              template="no_such_template")
+        run_requests([bad], store=store)
+        assert len(store) == 0
+        retry = run_requests([bad], store=ResultStore(tmp_path / "s.jsonl"))
+        assert retry.skipped == 0 and retry.failed == 1
+
+    def test_shared_session_memoizes_across_sweeps(self, tiny_spec):
+        session = Session()
+        first = run_sweep(tiny_spec, session=session)
+        assert first.perf.num_segments > 0
+        again = run_sweep(tiny_spec, session=session)
+        # The session memo serves every cell, and outcome.perf covers
+        # this run only -- so its counters are flat even though the
+        # shared session's lifetime log is not.
+        assert again.perf.num_segments == 0
+        assert session.perf_summary().num_segments \
+            == first.perf.num_segments
+
+    def test_result_at_raises_the_cell_error(self, tiny_scenario,
+                                             small_budget):
+        good = ScheduleRequest(scenario_spec=scenario_spec(tiny_scenario),
+                               nsplits=1, budget=small_budget)
+        bad = good.replace(template="no_such_template")
+        outcome = run_requests([good, bad])
+        assert outcome.result_at(0).same_payload(
+            outcome.ordered_results()[0])
+        with pytest.raises(ConfigError):
+            outcome.result_at(1)
+
+
+class TestSweepReport:
+    def test_render_mentions_cells_and_best(self, tiny_spec):
+        outcome = run_sweep(tiny_spec)
+        text = sweep_report(outcome).render()
+        assert "4 computed" in text
+        assert "best EDP per scenario" in text
+        assert "scar" in text and "standalone" in text
+
+    def test_document_shape(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        run_sweep(tiny_spec, store=ResultStore(path))
+        outcome = run_sweep(tiny_spec, store=ResultStore(path))
+        doc = sweep_report(outcome).to_document()
+        assert doc["kind"] == "sweep_report"
+        assert doc["cells"] == 4 and doc["computed"] == 0
+        assert doc["skipped"] == 4 and doc["num_segments"] == 0
+        assert json.loads(json.dumps(doc)) == doc  # JSON-serializable
+
+    def test_failure_rows_carry_error(self, tiny_scenario, small_budget):
+        bad = ScheduleRequest(scenario_spec=scenario_spec(tiny_scenario),
+                              nsplits=1, budget=small_budget,
+                              template="no_such_template")
+        outcome = run_requests([bad])
+        doc = sweep_report(outcome).to_document()
+        assert doc["rows"][0]["error"]["code"] == "config_error"
+        assert "config_error" in sweep_report(outcome).render()
