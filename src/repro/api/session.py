@@ -152,6 +152,32 @@ class Session:
                     and len(self._memo) > self.max_memo:
                 self._memo.popitem(last=False)
 
+    def cached(self, request: ScheduleRequest) -> ScheduleResult | None:
+        """The memoized result for ``request``, or ``None``.
+
+        Always ``None`` for ``memoize=False`` requests.  Front-ends that
+        execute requests outside :meth:`submit` (the service's process
+        job backend) use this plus :meth:`remember` so their memo
+        behavior stays bit-for-bit the session's own.
+        """
+        if not request.memoize:
+            return None
+        return self._memo_get(request.cache_key())
+
+    def remember(self, request: ScheduleRequest, result: ScheduleResult,
+                 *, log_perf: bool = False) -> None:
+        """Adopt an externally computed result exactly as submit would.
+
+        ``log_perf=True`` also appends the result's perf report to the
+        session log -- right for results this session's own workers
+        computed, wrong for results another replica computed (their
+        engine counters belong to that replica's session).
+        """
+        if log_perf and result.perf is not None:
+            self._log_perf(result.perf)
+        if request.memoize:
+            self._memo_put(request.cache_key(), result)
+
     # -- execution ---------------------------------------------------------
 
     def submit(self, request: ScheduleRequest) -> ScheduleResult:
@@ -227,17 +253,9 @@ class Session:
             else:
                 pending.setdefault(f"unmemoized:{i}", []).append(i)
         if pending:
-            workers = min(jobs, len(pending))
-            # The default registry needs no shipping: workers rebuild it
-            # (fork inherits any extra registrations either way).
-            registry = None if self.registry is DEFAULT_REGISTRY \
-                else self.registry
-            with ProcessPoolExecutor(max_workers=workers,
-                                     initializer=_batch_worker_init,
-                                     initargs=(registry,
-                                               self.backend)) as pool:
+            with self.process_pool(min(jobs, len(pending))) as pool:
                 fanned = list(pool.map(
-                    _batch_worker_run,
+                    run_pooled_request,
                     [requests[indices[0]] for indices in pending.values()]))
             for indices, result in zip(pending.values(), fanned):
                 for i in indices:
@@ -248,6 +266,24 @@ class Session:
                     self._memo_put(requests[indices[0]].cache_key(),
                                    result)
         return results  # type: ignore[return-value]
+
+    def process_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        """A worker-process pool that mirrors this session.
+
+        Each worker process builds a fresh session over the same
+        registry and default backend; submit requests to it with
+        :func:`run_pooled_request`.  Shared by :meth:`submit_many` and
+        the service's process job backend; the picklability caveats in
+        :meth:`submit_many` apply.  Workers spawn lazily, so building
+        the pool is cheap until the first submit.
+        """
+        # The default registry needs no shipping: workers rebuild it
+        # (fork inherits any extra registrations either way).
+        registry = None if self.registry is DEFAULT_REGISTRY \
+            else self.registry
+        return ProcessPoolExecutor(max_workers=max_workers,
+                                   initializer=_batch_worker_init,
+                                   initargs=(registry, self.backend))
 
     # -- reporting ---------------------------------------------------------
 
@@ -303,3 +339,9 @@ def _batch_worker_run(request: ScheduleRequest) -> ScheduleResult:
     # The raw candidate population stays in the worker: it is excluded
     # from equality/wire anyway and would dominate the IPC payload.
     return dataclasses.replace(result, raw=None)
+
+
+#: Run one request on a pool built by :meth:`Session.process_pool`.
+#: Module-level (and so picklable) by construction; the public name for
+#: front-ends that drive the pool future-by-future.
+run_pooled_request = _batch_worker_run

@@ -31,6 +31,7 @@ from repro.errors import (
     SchedulingError,
     SearchError,
     ServiceError,
+    ServiceOverloadedError,
     ValidationError,
     WorkloadError,
 )
@@ -193,6 +194,7 @@ _ERROR_KIND = "error"
 _ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
     (ValidationError, "validation_error"),
     (JobNotFoundError, "not_found"),
+    (ServiceOverloadedError, "service_overloaded"),
     (SchedulingError, "scheduling_error"),
     (WorkloadError, "workload_error"),
     (HardwareError, "hardware_error"),

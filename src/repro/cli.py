@@ -40,6 +40,7 @@ delta-evaluation and cache-hit statistics after the run.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Callable
 
@@ -272,11 +273,16 @@ def _report_error(exc: Exception, output_format: str) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Session
     from repro.service import SchedulerService, ServiceServer
+    from repro.sweep import ResultStore
 
+    store = ResultStore(args.store) if args.store is not None else None
     service = SchedulerService(Session(max_memo=args.max_memo,
                                        backend=args.backend),
                                workers=args.workers,
-                               retain=args.retain)
+                               retain=args.retain,
+                               job_backend=args.job_backend,
+                               max_pending=args.max_pending,
+                               store=store)
     try:
         server = ServiceServer((args.host, args.port), service)
     except (OSError, OverflowError) as exc:  # Overflow: port > 65535
@@ -284,14 +290,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         service.close()
         return 1
+    extras = "" if store is None else f", store {args.store}"
     print(f"repro scheduling service on {server.url}/v1/jobs "
-          f"({args.workers} worker{'s' if args.workers != 1 else ''}); "
+          f"({args.workers} {args.job_backend} "
+          f"worker{'s' if args.workers != 1 else ''}{extras}); "
           f"Ctrl-C to stop")
+    # SIGTERM (systemd/docker stop) takes the same graceful path as
+    # Ctrl-C: without it, process-backed pool workers forked after the
+    # bind outlive the parent and keep the listening socket open, so
+    # the next replica on this port binds EADDRINUSE or hangs clients.
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
         # Prompt shutdown: Ctrl-C under a deep backlog cancels the
         # queued jobs instead of draining them for hours.
@@ -439,6 +456,21 @@ def build_parser() -> argparse.ArgumentParser:
                        "do not pick one (default: infer from each "
                        "request's --jobs; results are bit-identical "
                        "across backends)")
+    serve.add_argument("--job-backend", default="process",
+                       choices=("thread", "process"),
+                       help="run each job's search on a process pool "
+                       "(default; escapes the GIL so concurrent jobs "
+                       "overlap) or in the worker thread itself")
+    serve.add_argument("--max-pending", type=_positive_int, default=None,
+                       metavar="N",
+                       help="admission control: reject submits past N "
+                       "queued jobs with HTTP 429 service_overloaded "
+                       "(default: unbounded)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="shared JSONL schedule cache (the sweep "
+                       "ResultStore): results are served from / "
+                       "recorded to it, so replicas sharing one PATH "
+                       "share finished schedules (default: none)")
 
     for name, (description, _) in _EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)

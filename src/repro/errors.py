@@ -47,3 +47,15 @@ class ServiceError(ReproError):
 
 class JobNotFoundError(ServiceError):
     """The service has no job under this id (never existed or evicted)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full; retry after a backoff.
+
+    Transports surface this as HTTP 429 with a ``Retry-After`` header;
+    :class:`repro.service.ServiceClient` retries it automatically with
+    capped exponential backoff.  ``retry_after_s``, when set, is the
+    server's suggested minimum delay before the next attempt.
+    """
+
+    retry_after_s: float | None = None

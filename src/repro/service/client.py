@@ -12,7 +12,11 @@ in-process server (:func:`repro.service.local_service`) or a remote
 
 Error documents coming back over HTTP are re-raised as the typed
 :mod:`repro.errors` exception they encode, so remote failures look
-exactly like local ones.  Pure stdlib (``urllib.request``).
+exactly like local ones.  The one exception the client absorbs itself
+is admission-control pushback: a 429 ``service_overloaded`` rejection
+is retried with capped exponential backoff (honouring the server's
+``Retry-After``) before surfacing, so bursty callers degrade to
+waiting instead of erroring.  Pure stdlib (``urllib.request``).
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import Any, Iterable
 
 from repro.api.request import ScheduleRequest, ScheduleResult
 from repro.api.wire import ErrorDocument, is_error_document
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadedError
 from repro.service.jobs import JobRecord
 
 
@@ -61,29 +65,68 @@ class RemoteJob:
 
 
 class ServiceClient:
-    """JSON-over-HTTP client speaking the ``/v1/jobs`` endpoints."""
+    """JSON-over-HTTP client speaking the ``/v1/jobs`` endpoints.
+
+    ``overload_retries`` bounds how many times a submit rejected with
+    ``service_overloaded`` (HTTP 429) is retried; the delay doubles
+    from ``backoff_s`` per attempt, never exceeds ``backoff_cap_s``,
+    and never undercuts the server's ``Retry-After``.
+    ``overload_retries=0`` surfaces the first rejection directly.
+    """
 
     def __init__(self, base_url: str, *, timeout_s: float = 30.0,
-                 poll_s: float = 0.05) -> None:
+                 poll_s: float = 0.05, overload_retries: int = 6,
+                 backoff_s: float = 0.05,
+                 backoff_cap_s: float = 2.0) -> None:
+        if overload_retries < 0:
+            raise ValueError(
+                f"overload_retries must be >= 0, got {overload_retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.poll_s = poll_s
+        self.overload_retries = overload_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
 
     # -- submission --------------------------------------------------------
 
     def submit(self, request: ScheduleRequest, *,
                priority: int = 0) -> RemoteJob:
-        document = self._call("POST", self._jobs_path(priority),
-                              payload=request.to_dict())
+        document = self._post_with_backoff(self._jobs_path(priority),
+                                           request.to_dict())
         return RemoteJob(self, JobRecord.from_dict(document).job_id)
 
     def submit_many(self, requests: Iterable[ScheduleRequest], *,
                     priority: int = 0) -> list[RemoteJob]:
-        documents = self._call(
-            "POST", self._jobs_path(priority),
-            payload=[request.to_dict() for request in requests])
+        documents = self._post_with_backoff(
+            self._jobs_path(priority),
+            [request.to_dict() for request in requests])
         return [RemoteJob(self, JobRecord.from_dict(doc).job_id)
                 for doc in documents]
+
+    def _post_with_backoff(self, path: str,
+                           payload: dict | list) -> Any:
+        """POST, absorbing up to ``overload_retries`` 429 rejections.
+
+        Submission is idempotent to retry here because a rejected
+        submit queued nothing (batch admission is all-or-nothing on
+        the server).
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._call("POST", path, payload=payload)
+            except ServiceOverloadedError as exc:
+                if attempt >= self.overload_retries:
+                    raise
+                delay = min(self.backoff_s * (2 ** attempt),
+                            self.backoff_cap_s)
+                retry_after = getattr(exc, "retry_after_s", None)
+                if retry_after is not None:
+                    delay = max(delay, min(retry_after,
+                                           self.backoff_cap_s))
+                time.sleep(delay)
+                attempt += 1
 
     # -- observation -------------------------------------------------------
 
@@ -178,6 +221,14 @@ class ServiceClient:
         except (UnicodeDecodeError, json.JSONDecodeError):
             document = None
         if is_error_document(document):
-            raise ErrorDocument.from_dict(document).exception() from None
+            error = ErrorDocument.from_dict(document).exception()
+            retry_after = exc.headers.get("Retry-After") \
+                if exc.headers is not None else None
+            if retry_after is not None:
+                try:
+                    error.retry_after_s = float(retry_after)
+                except ValueError:
+                    pass  # HTTP-date form: ignore, use our own backoff
+            raise error from None
         raise ServiceError(
             f"HTTP {exc.code} from {exc.url}: {exc.reason}") from exc

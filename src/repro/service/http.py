@@ -38,6 +38,7 @@ from repro.errors import (
     JobNotFoundError,
     ReproError,
     ServiceError,
+    ServiceOverloadedError,
 )
 from repro.service import jobs as jobstate
 from repro.service.scheduler import SchedulerService
@@ -81,13 +82,31 @@ class _JobsHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send(self, status: int, payload: dict | list) -> None:
+    def _send(self, status: int, payload: dict | list,
+              headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_exception(self, exc: ReproError) -> None:
+        """Map a typed exception to its wire document + HTTP status.
+
+        Overload rejections carry ``Retry-After`` so well-behaved
+        clients (and :class:`~repro.service.ServiceClient`) know the
+        server's suggested backoff floor.
+        """
+        headers = None
+        if isinstance(exc, ServiceOverloadedError):
+            retry_after = getattr(exc, "retry_after_s", None) or 1.0
+            headers = {"Retry-After": str(max(1, round(retry_after)))}
+        self._send(_status_for(exc),
+                   ErrorDocument.from_exception(exc).to_dict(),
+                   headers=headers)
 
     def _send_error_doc(self, status: int, code: str, message: str,
                         field: str | None = None) -> None:
@@ -186,8 +205,7 @@ class _JobsHandler(BaseHTTPRequestHandler):
         except _BadBatchEntry as exc:
             self._send(400, exc.document.to_dict())
         except ReproError as exc:
-            self._send(_status_for(exc),
-                       ErrorDocument.from_exception(exc).to_dict())
+            self._send_exception(exc)
 
     def _bad_entry(self, exc: ReproError, index: int) -> None:
         raise _BadBatchEntry(ErrorDocument.from_exception(
@@ -213,8 +231,7 @@ class _JobsHandler(BaseHTTPRequestHandler):
                 self._send_error_doc(404, "unknown_endpoint",
                                      f"no such endpoint: GET {self.path}")
         except ReproError as exc:
-            self._send(_status_for(exc),
-                       ErrorDocument.from_exception(exc).to_dict())
+            self._send_exception(exc)
 
     def _send_result(self, job_id: str) -> None:
         # One atomic snapshot: a separate job()-then-result() pair could
@@ -245,8 +262,7 @@ class _JobsHandler(BaseHTTPRequestHandler):
         try:
             self._send(200, self.service.cancel(parts[2]).to_dict())
         except ReproError as exc:
-            self._send(_status_for(exc),
-                       ErrorDocument.from_exception(exc).to_dict())
+            self._send_exception(exc)
 
 
 class _BadBatchEntry(Exception):
@@ -261,6 +277,8 @@ def _status_for(exc: ReproError) -> int:
     """HTTP status for a service-boundary exception."""
     if isinstance(exc, JobNotFoundError):
         return 404
+    if isinstance(exc, ServiceOverloadedError):
+        return 429
     if isinstance(exc, ServiceError):
         return 409
     if isinstance(exc, ConfigError):
@@ -270,13 +288,17 @@ def _status_for(exc: ReproError) -> int:
 
 @contextlib.contextmanager
 def local_service(session: Session | None = None, *, workers: int = 2,
-                  host: str = "127.0.0.1", port: int = 0):
+                  host: str = "127.0.0.1", port: int = 0,
+                  **service_kwargs):
     """A live service + HTTP server in this process, for tests/demos.
 
     Yields ``(url, service)``; the server thread and worker pool shut
-    down on exit.  ``port=0`` picks a free ephemeral port.
+    down on exit.  ``port=0`` picks a free ephemeral port.  Extra
+    keyword arguments (``retain``, ``job_backend``, ``max_pending``,
+    ``store``) pass through to :class:`SchedulerService`.
     """
-    service = SchedulerService(session, workers=workers)
+    service = SchedulerService(session, workers=workers,
+                               **service_kwargs)
     server = ServiceServer((host, port), service)
     thread = threading.Thread(target=server.serve_forever, daemon=True,
                               name="repro-service-http")

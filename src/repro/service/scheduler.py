@@ -13,23 +13,60 @@ Cancellation is cooperative: a ``QUEUED`` job cancels immediately; a
 ``CANCELLED`` with its result discarded.  ``close()`` drains the queue
 (remaining jobs still run) and joins the workers; the service is usable
 as a context manager.
+
+Three knobs make the service scale past a single box's GIL:
+
+``job_backend="process"``  workers dispatch each search to a process
+                           pool mirroring the session (same registry,
+                           same default engine backend), so concurrent
+                           CPU-bound jobs actually overlap; results are
+                           adopted back into the session memo and are
+                           bit-identical to in-process ``submit``.
+``max_pending=N``          admission control: submits past N queued
+                           jobs are rejected with
+                           :class:`~repro.errors.ServiceOverloadedError`
+                           (HTTP 429 + ``Retry-After`` at the
+                           transport) instead of growing the queue
+                           without bound.
+``store=ResultStore``      cross-replica schedule cache: finished
+                           results are appended to a shared JSONL
+                           store keyed by ``ScheduleRequest.cache_key``
+                           and consulted (with a :meth:`refresh
+                           <repro.sweep.store.ResultStore.refresh>` on
+                           miss) before searching, so identical
+                           requests across ``scar serve`` replicas hit
+                           a memo instead of a search.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import queue
 import threading
 import time
-from typing import Iterable
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
 
 from repro.api.request import ScheduleRequest, ScheduleResult
-from repro.api.session import Session
+from repro.api.session import Session, run_pooled_request
 from repro.api.wire import ErrorDocument
-from repro.errors import ConfigError, JobNotFoundError, ServiceError
-from repro.perf import TimingSummary
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.perf import CacheStats, TimingSummary
 from repro.service import jobs as jobstate
 from repro.service.jobs import JobRecord
+
+if TYPE_CHECKING:  # import cycle: sweep.runner drives this service
+    from repro.sweep.store import ResultStore
+
+#: Job execution backends: in the worker thread, or fanned out to a
+#: process pool built by :meth:`Session.process_pool`.
+JOB_BACKENDS = ("thread", "process")
 
 #: Queue sentinel priority: sorts after every real job, so close() drains
 #: the backlog before the workers exit.
@@ -139,17 +176,47 @@ class SchedulerService:
     records and results; older ones are evicted and subsequently raise
     :class:`~repro.errors.JobNotFoundError`.  ``None`` (the default)
     retains everything.
+
+    ``job_backend="process"`` runs each job's search on a process pool
+    (size ``workers``) instead of the worker thread itself, so
+    CPU-bound jobs overlap in wall time; the worker threads then only
+    shepherd queue state and IPC.  A non-default registry must be
+    picklable to cross into the pool (see ``Session.submit_many``);
+    keep the default ``"thread"`` backend for closure-based test
+    policies.  ``max_pending`` bounds the admission queue (``None`` =
+    unbounded): a submit that would leave more than ``max_pending``
+    jobs ``QUEUED`` raises
+    :class:`~repro.errors.ServiceOverloadedError`; batch submits are
+    all-or-nothing.  ``store`` attaches a shared
+    :class:`~repro.sweep.store.ResultStore` consulted before every
+    search and appended after, the cross-replica schedule cache.
     """
 
     def __init__(self, session: Session | None = None, *,
-                 workers: int = 1, retain: int | None = None) -> None:
+                 workers: int = 1, retain: int | None = None,
+                 job_backend: str = "thread",
+                 max_pending: int | None = None,
+                 store: "ResultStore | None" = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if retain is not None and retain < 1:
             raise ConfigError(f"retain must be None or >= 1, got {retain}")
+        if job_backend not in JOB_BACKENDS:
+            raise ConfigError(
+                f"unknown job_backend {job_backend!r}; "
+                f"expected one of {JOB_BACKENDS}")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigError(
+                f"max_pending must be None or >= 1, got {max_pending}")
         self.session = session if session is not None else Session()
         self.workers = workers
         self.retain = retain
+        self.job_backend = job_backend
+        self.max_pending = max_pending
+        self._store = store
+        self._store_stats = CacheStats()
+        self._pool = self.session.process_pool(workers) \
+            if job_backend == "process" else None
         self._queue: queue.PriorityQueue = queue.PriorityQueue()
         self._lock = threading.Lock()
         self._records: dict[str, JobRecord] = {}
@@ -157,8 +224,23 @@ class SchedulerService:
         self._completions: dict[str, _Completion] = {}
         self._enqueued_at: dict[str, float] = {}
         self._cancel_requested: set[str] = set()
-        self._terminal_order: list[str] = []  # eviction order for retain
+        #: per-state record tally, maintained incrementally on every
+        #: transition so /v1/health and admission checks are O(states),
+        #: not O(jobs).
+        self._counts: dict[str, int] = {state: 0
+                                        for state in jobstate.JOB_STATES}
+        #: job id -> terminal sequence number, in terminal order; the
+        #: eviction order for ``retain`` (an ordered dict so eviction
+        #: pops are O(1) instead of ``list.remove``'s O(n)).
+        self._terminal_order: OrderedDict[str, int] = OrderedDict()
+        self._terminal_seq = itertools.count()
         self._retrieved: set[str] = set()  # results fetched at least once
+        #: (terminal seq, job id) min-heap of retrieved jobs: the
+        #: eviction preference queue.  Entries are lazily invalidated --
+        #: an already-evicted head is popped and skipped -- which keeps
+        #: the bit-identical "oldest retrieved first" policy of the old
+        #: linear scan at O(log n).
+        self._retrieved_heap: list[tuple[int, str]] = []
         self._seq = itertools.count()
         self._closed = False
         self._threads = [
@@ -173,8 +255,13 @@ class SchedulerService:
 
     def submit(self, request: ScheduleRequest, *,
                priority: int = 0) -> JobHandle:
-        """Queue one request; lower ``priority`` runs first."""
+        """Queue one request; lower ``priority`` runs first.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        admission queue (``max_pending``) is full.
+        """
         with self._lock:
+            self._admit_locked(1)
             return self._submit_locked(request, priority)
 
     def submit_many(self, requests: Iterable[ScheduleRequest], *,
@@ -183,12 +270,26 @@ class SchedulerService:
 
         One lock section covers the whole batch, so a concurrent
         ``close()`` either rejects it entirely or accepts it entirely --
-        never a partially queued batch behind an error.
+        never a partially queued batch behind an error.  Admission
+        control is likewise all-or-nothing: a batch that does not fit
+        under ``max_pending`` is rejected whole, queueing nothing.
         """
         requests = list(requests)
         with self._lock:
+            self._admit_locked(len(requests))
             return [self._submit_locked(request, priority)
                     for request in requests]
+
+    def _admit_locked(self, batch: int) -> None:
+        if self.max_pending is None:
+            return
+        queued = self._counts[jobstate.QUEUED]
+        if queued + batch > self.max_pending:
+            what = "1 new job" if batch == 1 else f"batch of {batch}"
+            raise ServiceOverloadedError(
+                f"service overloaded: {queued} of max_pending="
+                f"{self.max_pending} jobs queued, no room for {what}; "
+                f"retry with backoff")
 
     def _submit_locked(self, request: ScheduleRequest,
                        priority: int) -> JobHandle:
@@ -201,6 +302,7 @@ class SchedulerService:
                            events=(jobstate.JobEvent(
                                seq=0, state=jobstate.QUEUED),))
         self._records[job_id] = record
+        self._counts[jobstate.QUEUED] += 1
         completion = _Completion()
         self._completions[job_id] = completion
         self._enqueued_at[job_id] = time.monotonic()
@@ -238,9 +340,22 @@ class SchedulerService:
         """
         completion = self._completion(job_id)
         if not completion.event.wait(timeout):
+            # The job may have finished (and even been retain-evicted)
+            # between the wait timing out and this point; the completion
+            # slot outlives eviction, so fall back to it -- like
+            # JobHandle.record() -- instead of racing job() into a
+            # spurious JobNotFoundError.
+            record = completion.record
+            if record is not None:
+                return record
+            try:
+                state = self.job(job_id).state
+            except JobNotFoundError:
+                record = completion.record
+                assert record is not None  # evicted implies terminal
+                return record
             raise ServiceError(
-                f"job {job_id} still {self.job(job_id).state} after "
-                f"{timeout}s")
+                f"job {job_id} still {state} after {timeout}s")
         record = completion.record
         assert record is not None
         return record
@@ -259,7 +374,7 @@ class SchedulerService:
                 raise JobNotFoundError(f"unknown job id {job_id!r}")
             result = self._results.get(job_id)
             if record.state == jobstate.DONE:
-                self._retrieved.add(job_id)
+                self._mark_retrieved_locked(job_id)
             return record, result
 
     def result(self, job_id: str) -> ScheduleResult:
@@ -276,7 +391,7 @@ class SchedulerService:
             if record is None:
                 raise JobNotFoundError(f"unknown job id {job_id!r}")
             if record.state == jobstate.DONE:
-                self._retrieved.add(job_id)
+                self._mark_retrieved_locked(job_id)
                 return self._results[job_id]
         if record.state == jobstate.FAILED:
             assert record.error is not None
@@ -307,9 +422,9 @@ class SchedulerService:
                 record = record.transition(jobstate.CANCELLED,
                                            note="cancelled while queued",
                                            queue_s=queue_s)
-                self._records[job_id] = record
+                self._replace_locked(job_id, record)
                 self._completions[job_id].finish(record)
-                self._terminal_order.append(job_id)
+                self._mark_terminal_locked(job_id)
                 self._evict_locked()
                 return record
             # RUNNING: flag it; the worker finishes the transition.
@@ -318,18 +433,15 @@ class SchedulerService:
 
     # -- reporting ---------------------------------------------------------
 
-    @staticmethod
-    def _tally(records: list[JobRecord]) -> dict[str, int]:
-        counts = {state: 0 for state in jobstate.JOB_STATES}
-        counts["total"] = len(records)
-        for record in records:
-            counts[record.state] += 1
-        return counts
-
     def state_counts(self) -> dict[str, int]:
-        """Cheap per-state job tally (the ``/v1/health`` payload)."""
+        """Cheap per-state job tally (the ``/v1/health`` payload).
+
+        Served from the incrementally maintained counters -- O(states),
+        so a health poll stays cheap no matter how many records the
+        retention window holds.
+        """
         with self._lock:
-            return self._tally(list(self._records.values()))
+            return {**self._counts, "total": len(self._records)}
 
     def perf_summary(self) -> dict:
         """Service-level stats: job states, queue/run times, session perf.
@@ -340,10 +452,15 @@ class SchedulerService:
         the engine's delta-evaluation ``num_segments*`` counters and
         per-table cache/eviction stats); ``backend`` echoes the
         session's default execution backend (``None`` = per-request
-        inference from ``jobs``).
+        inference from ``jobs``).  ``job_backend`` is how jobs execute
+        (worker thread vs process pool) and ``store`` the cross-replica
+        cache's hit/miss stats (``None`` when no store is attached).
         """
         with self._lock:
             records = list(self._records.values())
+            counts = {**self._counts, "total": len(records)}
+            store_stats = self._store_stats.to_dict() \
+                if self._store is not None else None
         queue_summary = TimingSummary.from_samples(
             record.queue_s for record in records
             if record.queue_s is not None)
@@ -351,10 +468,12 @@ class SchedulerService:
             record.run_s for record in records
             if record.run_s is not None)
         return {
-            "jobs": self._tally(records),
+            "jobs": counts,
             "queue": queue_summary.to_dict(),
             "run": run_summary.to_dict(),
             "backend": self.session.backend,
+            "job_backend": self.job_backend,
+            "store": store_stats,
             "session": self.session.perf_summary().to_dict(),
         }
 
@@ -368,10 +487,14 @@ class SchedulerService:
         ``cancel_pending=True`` cancels every still-``QUEUED`` job
         instead, so shutdown is prompt even under a deep backlog; jobs
         already ``RUNNING`` finish their atomic policy run either way.
+
+        ``wait=True`` means "workers joined on return" for *every*
+        caller, not just the first: a second concurrent closer blocks
+        until the drain completes rather than returning early because
+        the closed flag was already up.
         """
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
             if cancel_pending:
                 for job_id, record in list(self._records.items()):
@@ -382,15 +505,31 @@ class SchedulerService:
                     cancelled = record.transition(
                         jobstate.CANCELLED,
                         note="cancelled at shutdown", queue_s=queue_s)
-                    self._records[job_id] = cancelled
+                    self._replace_locked(job_id, cancelled)
                     self._completions[job_id].finish(cancelled)
-                    self._terminal_order.append(job_id)
+                    self._mark_terminal_locked(job_id)
                 self._evict_locked()
-        for _ in self._threads:
-            self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
+        if first:
+            for _ in self._threads:
+                self._queue.put(
+                    (_SHUTDOWN_PRIORITY, next(self._seq), None))
         if wait:
             for thread in self._threads:
                 thread.join()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+        elif first and self._pool is not None:
+            # Nobody joins the workers on this path, so a reaper thread
+            # shuts the pool down once they drain -- shutting it down
+            # now would fail the backlog's pool submits.
+            threading.Thread(target=self._reap_pool, daemon=True,
+                             name="repro-service-reaper").start()
+
+    def _reap_pool(self) -> None:
+        for thread in self._threads:
+            thread.join()
+        assert self._pool is not None
+        self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "SchedulerService":
         return self
@@ -428,15 +567,50 @@ class SchedulerService:
                 return
             queue_s = time.monotonic() - self._enqueued_at[job_id]
             record = record.transition(jobstate.RUNNING, queue_s=queue_s)
-            self._records[job_id] = record
+            self._replace_locked(job_id, record)
         started = time.monotonic()
         try:
-            result = self.session.submit(record.request)
+            result = self._execute(record.request)
         except Exception as exc:  # noqa: BLE001 - mapped to wire error
             self._finish(job_id, jobstate.FAILED, started,
                          error=ErrorDocument.from_exception(exc))
         else:
             self._finish(job_id, jobstate.DONE, started, result=result)
+
+    def _execute(self, request: ScheduleRequest) -> ScheduleResult:
+        """One job's search: memo, then shared store, then compute.
+
+        The lookup order preserves the bit-identity contract: a session
+        memo hit returns the identical object ``Session.submit`` would;
+        a store hit rebuilds the exact wire payload another replica
+        computed (adopted into the memo, but *not* the perf log -- its
+        engine counters belong to the replica that searched); a miss
+        computes here (worker thread or process pool) and is recorded
+        back to the store for the other replicas.
+        """
+        cached = self.session.cached(request)
+        if cached is not None:
+            return cached
+        key = request.cache_key() \
+            if self._store is not None and request.memoize else None
+        if key is not None:
+            stored = self._store.get(key)
+            if stored is None and self._store.refresh():
+                stored = self._store.get(key)
+            with self._lock:
+                self._store_stats.record(stored is not None)
+            if stored is not None:
+                self.session.remember(request, stored)
+                return stored
+        if self._pool is None:
+            result = self.session.submit(request)
+        else:
+            result = self._pool.submit(run_pooled_request,
+                                       request).result()
+            self.session.remember(request, result, log_perf=True)
+        if key is not None:
+            self._store.record(result, key=key)
+        return result
 
     def _finish(self, job_id: str, state: str, started: float, *,
                 result: ScheduleResult | None = None,
@@ -454,13 +628,30 @@ class SchedulerService:
                 note = "cancelled during run; result discarded"
             record = self._records[job_id].transition(
                 state, note=note, error=error, run_s=run_s)
-            self._records[job_id] = record
+            self._replace_locked(job_id, record)
             if result is not None:
                 self._results[job_id] = result
             self._cancel_requested.discard(job_id)
             self._completions[job_id].finish(record, result)
-            self._terminal_order.append(job_id)
+            self._mark_terminal_locked(job_id)
             self._evict_locked()
+
+    def _replace_locked(self, job_id: str, record: JobRecord) -> None:
+        """Swap in a transitioned record, keeping the state counters."""
+        self._counts[self._records[job_id].state] -= 1
+        self._counts[record.state] += 1
+        self._records[job_id] = record
+
+    def _mark_terminal_locked(self, job_id: str) -> None:
+        self._terminal_order[job_id] = next(self._terminal_seq)
+
+    def _mark_retrieved_locked(self, job_id: str) -> None:
+        if job_id in self._retrieved:
+            return
+        self._retrieved.add(job_id)
+        tseq = self._terminal_order.get(job_id)
+        if tseq is not None:  # retrieval implies DONE implies terminal
+            heapq.heappush(self._retrieved_heap, (tseq, job_id))
 
     def _evict_locked(self) -> None:
         """Drop terminal jobs past the ``retain`` cap, oldest first,
@@ -472,16 +663,27 @@ class SchedulerService:
         well-paced client rarely loses an unfetched result; when *every*
         candidate is unretrieved the oldest goes anyway -- the cap is a
         hard memory bound, so ``retain`` should be sized comfortably
-        above the number of jobs in flight.
+        above the number of jobs in flight.  The victim choice -- the
+        oldest-terminal retrieved job, else the oldest terminal job --
+        comes from the retrieved heap and the terminal order dict in
+        O(log n), bit-identical to the old linear scan.
         """
         if self.retain is None:
             return
         while len(self._terminal_order) > self.retain:
-            job_id = next((j for j in self._terminal_order
-                           if j in self._retrieved),
-                          self._terminal_order[0])
-            self._terminal_order.remove(job_id)
-            del self._records[job_id]
+            job_id = None
+            while self._retrieved_heap:
+                _, candidate = self._retrieved_heap[0]
+                if candidate in self._terminal_order:
+                    job_id = candidate
+                    heapq.heappop(self._retrieved_heap)
+                    break
+                heapq.heappop(self._retrieved_heap)  # already evicted
+            if job_id is None:
+                job_id = next(iter(self._terminal_order))
+            del self._terminal_order[job_id]
+            record = self._records.pop(job_id)
+            self._counts[record.state] -= 1
             self._results.pop(job_id, None)
             self._completions.pop(job_id, None)
             self._enqueued_at.pop(job_id, None)

@@ -12,16 +12,23 @@ and a stored result rebuilds bit-identically through
 :meth:`~repro.api.request.ScheduleResult.from_dict` (the wire round-trip
 is exact on the determinism payload).
 
-Loading is tolerant of a torn final line -- the signature of a run
-killed mid-append -- and of stray blank lines; any skipped garbage is
-counted in :attr:`ResultStore.corrupt_lines` rather than aborting the
-campaign.  Appends flush per line, so at most the line being written
-when the process died is lost.
+The store is also the service layer's cross-replica schedule cache:
+several processes may share one file, each appending finished cells and
+periodically calling :meth:`ResultStore.refresh` to pick up lines the
+others wrote.  Loading is therefore incremental and tolerant of an
+unterminated final line -- either another replica's append still in
+flight or the torn signature of a run killed mid-write -- which is left
+pending and re-examined on the next refresh instead of being consumed.
+Complete lines that do not parse are counted in
+:attr:`ResultStore.corrupt_lines` rather than aborting the campaign.
+Appends flush per line, so at most the line being written when a
+process died is lost.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -39,26 +46,46 @@ class ResultStore:
     Results are kept as raw wire documents and parsed to
     :class:`ScheduleResult` on access, so loading a large store stays
     cheap.  Recording an already-stored key is a no-op (duplicate grid
-    cells never duplicate lines).
+    cells never duplicate lines).  All methods are thread-safe; cross-
+    process coherence is explicit via :meth:`refresh`.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        self._lock = threading.RLock()
         self._documents: dict[str, dict[str, Any]] = {}
+        self._offset = 0
         self.corrupt_lines = 0
-        self._load()
+        self.refresh()
 
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+    def refresh(self) -> int:
+        """Incrementally load lines appended since the last load.
+
+        Reads forward from the byte offset of the last fully consumed
+        line, so a refresh after another replica's append costs one
+        seek plus the new bytes.  Only newline-terminated lines are
+        consumed: an unterminated tail stays pending (the writer may
+        still be mid-append) and is retried next time.  Returns the
+        number of newly loaded cells.
+        """
+        with self._lock:
+            try:
+                with self.path.open("rb") as handle:
+                    handle.seek(self._offset)
+                    data = handle.read()
+            except FileNotFoundError:
+                return 0
+            end = data.rfind(b"\n")
+            if end < 0:
+                return 0
+            loaded = 0
+            for raw in data[:end].split(b"\n"):
+                line = raw.strip()
                 if not line:
                     continue
                 try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
+                    entry = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
                     self.corrupt_lines += 1
                     continue
                 if (not isinstance(entry, dict)
@@ -68,17 +95,23 @@ class ResultStore:
                     self.corrupt_lines += 1
                     continue
                 self._documents[entry["key"]] = entry["result"]
+                loaded += 1
+            self._offset += end + 1
+            return loaded
 
     # -- mapping surface ---------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
-        return key in self._documents
+        with self._lock:
+            return key in self._documents
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
     def keys(self) -> Iterator[str]:
-        return iter(self._documents)
+        with self._lock:
+            return iter(list(self._documents))
 
     def get(self, key: str) -> ScheduleResult | None:
         """Rebuild the stored result for ``key`` (``None`` if absent).
@@ -89,15 +122,16 @@ class ResultStore:
         the runner recomputes and re-records the cell instead of
         aborting the campaign.
         """
-        document = self._documents.get(key)
-        if document is None:
-            return None
-        try:
-            return ScheduleResult.from_dict(document)
-        except ConfigError:
-            del self._documents[key]
-            self.corrupt_lines += 1
-            return None
+        with self._lock:
+            document = self._documents.get(key)
+            if document is None:
+                return None
+            try:
+                return ScheduleResult.from_dict(document)
+            except ConfigError:
+                del self._documents[key]
+                self.corrupt_lines += 1
+                return None
 
     # -- recording ---------------------------------------------------------
 
@@ -107,17 +141,21 @@ class ResultStore:
 
         ``key`` lets callers that already computed the request's cache
         key (the runner) skip re-serializing the request document.
+        Refreshes first, so a cell another replica finished in the
+        meantime is adopted instead of appended again.
         """
         if key is None:
             key = result.request.cache_key()
-        if key in self._documents:
-            return
-        document = result.to_dict()
-        line = json.dumps({"kind": CELL_KIND, "version": WIRE_VERSION,
-                           "key": key, "result": document},
-                          sort_keys=True, separators=(",", ":"))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-        self._documents[key] = document
+        with self._lock:
+            self.refresh()
+            if key in self._documents:
+                return
+            document = result.to_dict()
+            line = json.dumps({"kind": CELL_KIND, "version": WIRE_VERSION,
+                               "key": key, "result": document},
+                              sort_keys=True, separators=(",", ":"))
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            self._documents[key] = document

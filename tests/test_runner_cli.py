@@ -159,10 +159,26 @@ class TestCLI:
         assert args.port == 8787
         assert args.workers == 2
         assert args.max_memo is None
+        assert args.job_backend == "process"
+        assert args.max_pending is None
+        assert args.store is None
+
+    def test_serve_scaling_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--job-backend", "thread", "--max-pending", "64",
+             "--store", "cache.jsonl"])
+        assert args.job_backend == "thread"
+        assert args.max_pending == 64
+        assert args.store == "cache.jsonl"
 
     def test_serve_rejects_bad_workers(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--workers", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_max_pending(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--max-pending", "0"])
         assert "positive integer" in capsys.readouterr().err
 
     def test_serve_rejects_negative_max_memo(self, capsys):

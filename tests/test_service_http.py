@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -13,6 +14,7 @@ from repro.errors import (
     ConfigError,
     JobNotFoundError,
     ServiceError,
+    ServiceOverloadedError,
     WorkloadError,
 )
 from repro.service import (
@@ -116,6 +118,96 @@ class TestJobLifecycleOverHTTP:
             assert record.error.code == "workload_error"
             with pytest.raises(WorkloadError, match="unknown scenario"):
                 handle.result()
+
+
+class TestAdmissionControlOverHTTP:
+    @pytest.fixture
+    def overloaded(self, tiny_scenario, small_budget):
+        """A 1-worker, max_pending=1 service with the worker gated and
+        the one queue slot filled: the next submit must get a 429."""
+        registry, started, release, _order = gated_registry()
+        request = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="gated",
+            budget=small_budget, nsplits=1)
+        with local_service(Session(registry), workers=1,
+                           max_pending=1) as (url, svc):
+            client = ServiceClient(url, overload_retries=0)
+            client.submit(request)  # occupies the worker
+            assert started.wait(timeout=60)
+            client.submit(request.replace(prov_limit=63))  # fills queue
+            yield url, client, request, release
+            release.set()
+
+    def test_queue_full_is_429_with_retry_after(self, overloaded):
+        url, _client, request, _release = overloaded
+        body = json.dumps(request.replace(prov_limit=62)
+                          .to_dict()).encode()
+        req = urllib.request.Request(
+            url + "/v1/jobs", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 429
+        assert excinfo.value.headers["Retry-After"] == "1"
+        document = json.loads(excinfo.value.read().decode())
+        assert document["kind"] == "error"
+        assert document["code"] == "service_overloaded"
+
+    def test_client_reraises_typed_overload(self, overloaded):
+        _url, client, request, _release = overloaded
+        with pytest.raises(ServiceOverloadedError,
+                           match="max_pending") as excinfo:
+            client.submit(request.replace(prov_limit=62))
+        assert excinfo.value.retry_after_s == 1.0
+
+    def test_client_backoff_retries_until_admitted(self, overloaded):
+        """The backing-off client rides out the overload: once the gate
+        releases and the queue drains, a retried submit is accepted and
+        completes."""
+        url, _client, request, release = overloaded
+        patient = ServiceClient(url, overload_retries=8,
+                                backoff_s=0.05, backoff_cap_s=0.05)
+        releaser = threading.Timer(0.15, release.set)
+        releaser.start()
+        try:
+            handle = patient.submit(request.replace(prov_limit=62))
+            assert handle.result(timeout=300).metrics.latency_s > 0
+        finally:
+            releaser.cancel()
+
+    def test_batch_rejection_queues_nothing(self, overloaded):
+        _url, client, request, _release = overloaded
+        before = client.health()["total"]
+        with pytest.raises(ServiceOverloadedError):
+            client.submit_many([request.replace(prov_limit=62 - i)
+                                for i in range(2)])
+        assert client.health()["total"] == before
+
+
+class TestSharedStoreOverHTTP:
+    def test_cache_hit_parity_across_replicas(self, tmp_path,
+                                              tiny_scenario,
+                                              small_budget):
+        """The tentpole's cross-replica contract over the wire: a
+        result served from the shared store is same_payload-identical
+        to a fresh search, and the replica reports the hit."""
+        from repro.sweep import ResultStore
+
+        request = request_for(tiny_scenario, small_budget, "scar")
+        reference = Session().submit(request)
+        path = tmp_path / "cache.jsonl"
+        with local_service(Session(),
+                           store=ResultStore(path)) as (url, _svc):
+            computed = ServiceClient(url).submit(request) \
+                .result(timeout=600)
+        assert_equivalent(computed, reference)
+        with local_service(Session(),
+                           store=ResultStore(path)) as (url, service):
+            served = ServiceClient(url).submit(request) \
+                .result(timeout=60)
+            stats = service.perf_summary()["store"]
+        assert stats["hits"] == 1 and stats["hit_rate"] > 0
+        assert_equivalent(served, reference)
 
 
 class TestWireErrors:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.errors import (
     ConfigError,
     JobNotFoundError,
     ServiceError,
+    ServiceOverloadedError,
     WorkloadError,
 )
 from repro.perf import TimingSummary
@@ -288,6 +290,232 @@ class TestLifecycle:
     def test_bad_workers_rejected(self):
         with pytest.raises(ConfigError, match="workers"):
             SchedulerService(workers=0)
+
+
+class TestLifecycleBugfixes:
+    @pytest.fixture
+    def gated_service(self, tiny_scenario, small_budget):
+        registry, started, release, order = gated_registry()
+        service = SchedulerService(Session(registry), workers=1)
+        gated = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="gated",
+            budget=small_budget, nsplits=1)
+        yield service, gated, started, release, order
+        release.set()
+        service.close()
+
+    def test_wait_timeout_survives_eviction(self, tiny_scenario,
+                                            small_budget):
+        """A by-id wait() whose timeout races retain-eviction returns
+        the completion record instead of raising JobNotFoundError: the
+        completion slot outlives eviction, like JobHandle.record()."""
+        with SchedulerService(workers=1, retain=1) as service:
+            a = service.submit(
+                request_for(tiny_scenario, small_budget, "standalone"))
+            a.wait(timeout=300)  # a is terminal, retained for now
+            # Stall the waiter deterministically: its event "times out"
+            # only after the test has evicted the job.
+            entered = threading.Event()
+            evicted = threading.Event()
+
+            class _StalledEvent:
+                @staticmethod
+                def wait(timeout=None):
+                    entered.set()
+                    evicted.wait(timeout=60)
+                    return False  # report a timeout
+
+                @staticmethod
+                def set():
+                    pass
+
+            service._completions[a.job_id].event = _StalledEvent()
+            outcome: dict = {}
+
+            def waiter():
+                try:
+                    outcome["record"] = service.wait(a.job_id,
+                                                     timeout=0.01)
+                except ServiceError as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            assert entered.wait(timeout=60)
+            b = service.submit(
+                request_for(tiny_scenario, small_budget, "nn_baton"))
+            b.wait(timeout=300)  # a second terminal job evicts a
+            with pytest.raises(JobNotFoundError):
+                service.job(a.job_id)
+            evicted.set()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        assert outcome["record"].state == DONE
+
+    def test_concurrent_close_waits_for_drain(self, gated_service):
+        """Every close(wait=True) caller blocks until the workers are
+        joined -- the second closer must not return early just because
+        the closed flag was already up."""
+        service, gated, started, release, order = gated_service
+        handle = service.submit(gated)
+        assert started.wait(timeout=60)
+        closers = [threading.Thread(target=service.close)
+                   for _ in range(2)]
+        for thread in closers:
+            thread.start()
+        # The worker is still gated, so neither closer may have
+        # returned yet -- the old code let the second one through.
+        time.sleep(0.3)
+        assert all(thread.is_alive() for thread in closers)
+        release.set()
+        for thread in closers:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in closers)
+        assert not any(worker.is_alive()
+                       for worker in service._threads)
+        assert handle.record().state == DONE
+
+
+class TestProcessJobBackend:
+    def test_process_workers_match_session_submit(self, tiny_scenario,
+                                                  small_budget):
+        requests = [request_for(tiny_scenario, small_budget, policy)
+                    for policy in ("standalone", "scar")]
+        reference = [Session().submit(r) for r in requests]
+        with SchedulerService(workers=2,
+                              job_backend="process") as service:
+            handles = service.submit_many(requests)
+            results = [h.result(timeout=600) for h in handles]
+            assert service.perf_summary()["job_backend"] == "process"
+        for got, want in zip(results, reference):
+            assert_equivalent(got, want)
+
+    def test_pooled_results_adopt_the_session_memo(self, tiny_scenario,
+                                                   small_budget):
+        """A pooled job's result lands in the session memo exactly like
+        Session.submit's would: the duplicate is the same object."""
+        request = request_for(tiny_scenario, small_budget, "standalone")
+        with SchedulerService(workers=1,
+                              job_backend="process") as service:
+            first = service.submit(request).result(timeout=300)
+            second = service.submit(request).result(timeout=300)
+        assert second is first
+
+    def test_pooled_perf_reports_reach_the_session(self, tiny_scenario,
+                                                   small_budget):
+        request = request_for(tiny_scenario, small_budget, "scar")
+        with SchedulerService(workers=1,
+                              job_backend="process") as service:
+            service.submit(request).result(timeout=600)
+            summary = service.perf_summary()
+        assert summary["session"]["num_evaluated"] > 0
+
+    def test_bad_job_backend_rejected(self):
+        with pytest.raises(ConfigError, match="job_backend"):
+            SchedulerService(job_backend="fibers")
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def gated_service(self, tiny_scenario, small_budget):
+        registry, started, release, order = gated_registry()
+        service = SchedulerService(Session(registry), workers=1,
+                                   max_pending=1)
+        gated = ScheduleRequest.for_scenario(
+            tiny_scenario, template="het_sides_3x3", policy="gated",
+            budget=small_budget, nsplits=1)
+        yield service, gated, started, release
+        release.set()
+        service.close()
+
+    def test_queue_full_rejects_submit(self, gated_service):
+        service, gated, started, release = gated_service
+        running = service.submit(gated)
+        assert started.wait(timeout=60)  # RUNNING does not count
+        queued = service.submit(gated.replace(prov_limit=63))
+        with pytest.raises(ServiceOverloadedError, match="max_pending"):
+            service.submit(gated.replace(prov_limit=62))
+        # The backlog drains; admission reopens.
+        release.set()
+        assert running.result(timeout=300) is not None
+        assert queued.result(timeout=300) is not None
+        accepted = service.submit(gated.replace(prov_limit=61))
+        assert accepted.result(timeout=300) is not None
+
+    def test_batch_admission_is_all_or_nothing(self, gated_service):
+        service, gated, started, release = gated_service
+        service.submit(gated)
+        assert started.wait(timeout=60)
+        before = service.state_counts()["total"]
+        batch = [gated.replace(prov_limit=63 - i) for i in range(2)]
+        with pytest.raises(ServiceOverloadedError, match="batch of 2"):
+            service.submit_many(batch)
+        assert service.state_counts()["total"] == before  # nothing queued
+
+    def test_bad_max_pending_rejected(self):
+        with pytest.raises(ConfigError, match="max_pending"):
+            SchedulerService(max_pending=0)
+
+
+class TestSharedStore:
+    def test_store_served_result_matches_fresh_search(self, tmp_path,
+                                                      tiny_scenario,
+                                                      small_budget):
+        from repro.sweep import ResultStore
+
+        request = request_for(tiny_scenario, small_budget, "scar")
+        reference = Session().submit(request)
+        path = tmp_path / "cache.jsonl"
+        with SchedulerService(Session(),
+                              store=ResultStore(path)) as replica_a:
+            computed = replica_a.submit(request).result(timeout=600)
+            stats_a = replica_a.perf_summary()["store"]
+        assert stats_a["misses"] == 1 and stats_a["hits"] == 0
+        assert_equivalent(computed, reference)
+        # A second replica (fresh session, fresh store object, same
+        # path) serves the schedule from the store, without a search.
+        with SchedulerService(Session(),
+                              store=ResultStore(path)) as replica_b:
+            served = replica_b.submit(request).result(timeout=60)
+            summary = replica_b.perf_summary()
+        assert summary["store"]["hits"] == 1
+        assert summary["store"]["hit_rate"] == 1.0
+        assert_equivalent(served, reference)
+        # The other replica's engine counters were not adopted into
+        # this replica's perf log along with its result.
+        assert summary["session"]["num_evaluated"] == 0
+
+    def test_refresh_on_miss_sees_late_appends(self, tmp_path,
+                                               tiny_scenario,
+                                               small_budget):
+        """A store object opened before another replica recorded still
+        serves the hit: the miss path refreshes from the shared file."""
+        from repro.sweep import ResultStore
+
+        request = request_for(tiny_scenario, small_budget, "standalone")
+        path = tmp_path / "cache.jsonl"
+        mine = ResultStore(path)  # opened first: snapshot is empty
+        ResultStore(path).record(Session().submit(request),
+                                 key=request.cache_key())
+        with SchedulerService(Session(), store=mine) as service:
+            service.submit(request).result(timeout=300)
+            assert service.perf_summary()["store"]["hits"] == 1
+
+    def test_unmemoizable_requests_bypass_the_store(self, tmp_path,
+                                                    tiny_scenario,
+                                                    small_budget):
+        from repro.sweep import ResultStore
+
+        request = request_for(tiny_scenario, small_budget, "standalone",
+                              memoize=False)
+        with SchedulerService(
+                Session(),
+                store=ResultStore(tmp_path / "c.jsonl")) as service:
+            service.submit(request).result(timeout=300)
+            summary = service.perf_summary()
+        assert summary["store"] == {"hits": 0, "misses": 0,
+                                    "evictions": 0, "hit_rate": 0.0}
 
 
 class TestPerfSummary:

@@ -78,6 +78,10 @@ class TestResultStore:
         assert len(store) == 0 and store.get("nope") is None
 
     def test_torn_final_line_is_tolerated(self, tmp_path, tiny_spec):
+        """An unterminated tail is pending -- either a writer died
+        mid-append (torn) or another replica is mid-append right now --
+        so it is neither loaded nor counted corrupt until a newline
+        lands."""
         path = tmp_path / "s.jsonl"
         store = ResultStore(path)
         run_sweep(tiny_spec, store=store)
@@ -85,7 +89,42 @@ class TestResultStore:
             handle.write('{"kind": "sweep_cell", "key": "x", "resu')
         reloaded = ResultStore(path)
         assert len(reloaded) == 4
+        assert reloaded.corrupt_lines == 0
+        # Once terminated, the line is consumed -- and it is garbage.
+        with path.open("a") as handle:
+            handle.write("\n")
+        assert reloaded.refresh() == 0
+        assert len(reloaded) == 4
         assert reloaded.corrupt_lines == 1
+
+    def test_refresh_sees_other_replicas_appends(self, tmp_path,
+                                                 tiny_spec):
+        """Two store objects on one path: records by one become visible
+        to the other after refresh() (the cross-replica cache path)."""
+        path = tmp_path / "s.jsonl"
+        mine = ResultStore(path)
+        theirs = ResultStore(path)
+        outcome = run_sweep(tiny_spec, store=mine)
+        key = tiny_spec.requests()[0].cache_key()
+        assert key not in theirs  # opened before the campaign ran
+        assert theirs.refresh() == 4
+        assert len(theirs) == 4
+        assert theirs.get(key).same_payload(outcome.results[key])
+        assert theirs.refresh() == 0  # nothing new: offset caught up
+
+    def test_record_adopts_concurrent_append_without_duplicating(
+            self, tmp_path, tiny_spec):
+        """record() refreshes first, so a cell another replica finished
+        in the meantime is adopted instead of appended twice."""
+        path = tmp_path / "s.jsonl"
+        mine = ResultStore(path)
+        theirs = ResultStore(path)
+        outcome = run_sweep(tiny_spec, store=theirs)
+        result = next(iter(outcome.results.values()))
+        before = path.read_text()
+        mine.record(result)
+        assert path.read_text() == before
+        assert len(mine) == 4
 
     def test_unparsable_stored_result_is_recomputed(self, tmp_path,
                                                     tiny_spec):
