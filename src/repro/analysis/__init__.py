@@ -1,0 +1,65 @@
+"""Project-invariant static analysis (the ``scar lint`` engine).
+
+Six PRs of review-hardening distilled into a CI gate: a small
+``ast``-visitor framework (:mod:`repro.analysis.core`) plus five
+project-specific checkers guarding the conventions the codebase's
+correctness actually rests on:
+
+========  =================================================================
+SCAR001   lock discipline: ``# guarded by: <lock>`` state only under
+          ``with self.<lock>`` (:mod:`repro.analysis.locks`)
+SCAR002   determinism: no process-wide RNG, wall-clock reads or bare-set
+          iteration in kernel/sweep paths
+          (:mod:`repro.analysis.determinism`)
+SCAR003   wire envelope: document classes parse through
+          ``wire.loads_document``/``check_envelope`` and emit ``kind``
+          (:mod:`repro.analysis.envelope`)
+SCAR004   error codes: the repro.errors / _ERROR_CODES / http mapping
+          stays closed and ordered (:mod:`repro.analysis.errormap`)
+SCAR005   registry drift: registered policy/backend names stay CLI-
+          reachable and documented (:mod:`repro.analysis.registries`)
+========  =================================================================
+
+Findings suppress per line with ``# scar: noqa[CODE]``; reports render
+as text or as the ``kind: "lint_report"`` wire document.  See DESIGN.md
+"Static analysis" for the full contract and how to add a checker.
+"""
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    build_checkers,
+    checker_codes,
+    module_name_for,
+    register_checker,
+)
+
+# Importing the checker modules registers them (same pattern as the
+# built-in policies in repro.api.policies).
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import envelope as _envelope  # noqa: F401
+from repro.analysis import errormap as _errormap  # noqa: F401
+from repro.analysis import locks as _locks  # noqa: F401
+from repro.analysis import registries as _registries  # noqa: F401
+from repro.analysis.report import REPORT_KIND, LintReport
+from repro.analysis.runner import (
+    iter_python_files,
+    lint_paths,
+    run_checkers,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "REPORT_KIND",
+    "SourceFile",
+    "build_checkers",
+    "checker_codes",
+    "iter_python_files",
+    "lint_paths",
+    "module_name_for",
+    "register_checker",
+    "run_checkers",
+]

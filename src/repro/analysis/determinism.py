@@ -1,0 +1,130 @@
+"""SCAR002: no nondeterminism sources in the bit-identity kernel paths.
+
+The engine, the sweep layer and the scenario generator promise
+bit-identical results across reruns, worker counts and processes
+(golden tests, resumable stores and the cross-replica cache all gate on
+it).  Three things silently break that promise:
+
+* module-level ``random.*`` functions (the process-wide RNG; its state
+  depends on import order and other callers) -- seeded
+  ``random.Random(seed)`` streams are the sanctioned alternative;
+* wall-clock reads (``time.time``/``time.time_ns``,
+  ``datetime.now``/``utcnow``/``today``) leaking into results
+  (``time.monotonic``/``perf_counter`` stay legal: they feed perf
+  measurements that are documented as non-identity);
+* iterating a bare ``set`` literal: string hashes are randomized per
+  process, so the iteration order is not reproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    register_checker,
+)
+
+#: Modules where bit-identical results are gated.
+_SCOPE = ("repro.engine", "repro.sweep", "repro.workloads.generator")
+
+#: The only sanctioned attributes of the ``random`` module: seeded
+#: generator construction, and the Random class used in annotations.
+_RANDOM_OK = frozenset({"Random"})
+
+_TIME_BANNED = frozenset({"time", "time_ns"})
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _SCOPE)
+
+
+def _is_datetime_owner(node: ast.expr) -> bool:
+    """``datetime`` / ``date`` / ``datetime.datetime`` receivers."""
+    if isinstance(node, ast.Name):
+        return node.id in ("datetime", "date")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("datetime", "date")
+    return False
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    code = "SCAR002"
+    name = "determinism"
+    description = ("kernel/sweep paths must not use the module-level "
+                   "random functions, wall-clock reads or bare-set-"
+                   "literal iteration")
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return _in_scope(source.module)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        return list(self._walk(source, source.tree))
+
+    def _walk(self, source: SourceFile,
+              tree: ast.Module) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(source, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(source, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and isinstance(node.iter, ast.Set):
+                yield source.finding(
+                    self.code,
+                    "iteration over a bare set literal is order-"
+                    "nondeterministic (hash randomization); sort it or "
+                    "use a tuple", node.iter)
+            elif isinstance(node, ast.comprehension) \
+                    and isinstance(node.iter, ast.Set):
+                yield source.finding(
+                    self.code,
+                    "comprehension over a bare set literal is order-"
+                    "nondeterministic (hash randomization); sort it or "
+                    "use a tuple", node.iter)
+
+    def _check_import(self, source: SourceFile,
+                      node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_OK:
+                    yield source.finding(
+                        self.code,
+                        f"`from random import {alias.name}` pulls in the "
+                        f"process-wide RNG; use a seeded random.Random "
+                        f"stream", node)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_BANNED:
+                    yield source.finding(
+                        self.code,
+                        f"`from time import {alias.name}` reads the wall "
+                        f"clock; results must not depend on it", node)
+
+    def _check_attribute(self, source: SourceFile,
+                         node: ast.Attribute) -> Iterator[Finding]:
+        owner = node.value
+        if isinstance(owner, ast.Name) and owner.id == "random" \
+                and node.attr not in _RANDOM_OK:
+            yield source.finding(
+                self.code,
+                f"`random.{node.attr}` uses the process-wide RNG; use a "
+                f"seeded random.Random stream", node)
+        elif isinstance(owner, ast.Name) and owner.id == "time" \
+                and node.attr in _TIME_BANNED:
+            yield source.finding(
+                self.code,
+                f"`time.{node.attr}` reads the wall clock; results must "
+                f"not depend on it", node)
+        elif node.attr in _DATETIME_BANNED \
+                and _is_datetime_owner(owner):
+            yield source.finding(
+                self.code,
+                f"`datetime.{node.attr}` reads the wall clock; results "
+                f"must not depend on it", node)

@@ -1,0 +1,120 @@
+"""SCAR003: wire documents carry the kind/version envelope, always.
+
+Every top-level document class -- anything exposing a ``from_json``
+entry point -- must speak the shared envelope protocol of
+:mod:`repro.api.wire`:
+
+* ``from_json`` parses through :func:`repro.api.wire.loads_document`
+  (which wraps JSON errors as :class:`~repro.errors.ConfigError`),
+  never bare ``json.loads``;
+* ``from_dict`` validates the envelope via
+  :func:`repro.api.wire.check_envelope` (the single implementation of
+  kind/version checking);
+* ``to_dict`` emits a ``"kind"`` key, so the document self-describes on
+  the wire.
+
+Nested payload types (candidate points, metrics rows) define
+``to_dict``/``from_dict`` without ``from_json`` and are exempt: they
+only ever travel inside an enveloped document.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    register_checker,
+)
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {item.name: item for item in cls.body
+            if isinstance(item, ast.FunctionDef)}
+
+
+def _calls(fn: ast.FunctionDef, name: str) -> bool:
+    """True when ``fn`` calls ``name`` (bare or as the last attribute)."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == name:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == name:
+            return True
+    return False
+
+
+def _calls_json_loads(fn: ast.FunctionDef) -> ast.Call | None:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "loads" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "json":
+            return node
+    return None
+
+
+def _emits_kind_key(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and key.value == "kind":
+                    return True
+    return False
+
+
+@register_checker
+class WireEnvelopeChecker(Checker):
+    code = "SCAR003"
+    name = "wire-envelope"
+    description = ("document classes (defining from_json) must parse "
+                   "through wire.loads_document, validate with "
+                   "wire.check_envelope and emit a \"kind\" key")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = _methods(cls)
+        from_json = methods.get("from_json")
+        if from_json is None:
+            return
+        bare = _calls_json_loads(from_json)
+        if bare is not None:
+            yield source.finding(
+                self.code,
+                f"{cls.name}.from_json parses with bare json.loads; "
+                f"route through wire.loads_document", bare)
+        elif not _calls(from_json, "loads_document"):
+            yield source.finding(
+                self.code,
+                f"{cls.name}.from_json must parse through "
+                f"wire.loads_document", from_json)
+        from_dict = methods.get("from_dict")
+        if from_dict is None:
+            yield source.finding(
+                self.code,
+                f"{cls.name} defines from_json but no from_dict to "
+                f"validate the kind/version envelope", cls)
+        elif not _calls(from_dict, "check_envelope"):
+            yield source.finding(
+                self.code,
+                f"{cls.name}.from_dict must validate the kind/version "
+                f"envelope via wire.check_envelope", from_dict)
+        to_dict = methods.get("to_dict")
+        if to_dict is not None and not _emits_kind_key(to_dict):
+            yield source.finding(
+                self.code,
+                f"{cls.name}.to_dict must emit a \"kind\" envelope key",
+                to_dict)

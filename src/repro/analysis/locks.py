@@ -1,0 +1,209 @@
+"""SCAR001: guarded state is only touched while holding its lock.
+
+The concurrency-bearing classes (:class:`repro.api.session.Session`,
+:class:`repro.service.scheduler.SchedulerService`) protect their mutable
+bookkeeping with one mutex.  The convention is declarative:
+
+* an attribute assigned in ``__init__`` with a ``# guarded by: _lock``
+  comment on its assignment is *guarded* -- every other access to
+  ``self.<attr>`` in that class must sit inside a ``with self._lock:``
+  block (the comment names the lock attribute, so ``# guarded by:
+  _mutex`` works too);
+* alternatively a module-level ``_GUARDED`` registry declares guarded
+  names for every class in the module: a set/tuple/list of attribute
+  names (lock defaults to ``_lock``) or a ``{attr: lock}`` dict;
+* methods whose name ends in ``_locked`` are documented as
+  "caller holds the lock" and are exempt, as is ``__init__`` itself
+  (no other thread can hold a reference during construction).
+
+Nested functions defined inside a method do *not* inherit the enclosing
+lock context: a closure can outlive the ``with`` block that created it
+(handed to a thread or callback), so guarded access inside one is
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    register_checker,
+)
+
+_GUARD_COMMENT_RE = re.compile(r"#\s*guarded by:\s*(?P<lock>\w+)")
+
+#: Modules whose lock discipline is load-bearing (the service stack and
+#: the session facade); files elsewhere opt in by declaring guards.
+_SCOPE = ("repro.service", "repro.api.session")
+
+_DEFAULT_LOCK = "_lock"
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _SCOPE)
+
+
+def _module_guards(tree: ast.Module) -> dict[str, str]:
+    """Parse a module-level ``_GUARDED`` registry into ``{attr: lock}``."""
+    guards: dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "_GUARDED"
+                   for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            for key, lock in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str) \
+                        and isinstance(lock, ast.Constant) \
+                        and isinstance(lock.value, str):
+                    guards[key.value] = lock.value
+        elif isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            for item in value.elts:
+                if isinstance(item, ast.Constant) \
+                        and isinstance(item.value, str):
+                    guards[item.value] = _DEFAULT_LOCK
+        elif isinstance(value, ast.Call):
+            # frozenset({...}) / tuple([...]) wrappers.
+            for arg in value.args:
+                if isinstance(arg, (ast.Set, ast.Tuple, ast.List)):
+                    for item in arg.elts:
+                        if isinstance(item, ast.Constant) \
+                                and isinstance(item.value, str):
+                            guards[item.value] = _DEFAULT_LOCK
+    return guards
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` attribute name, else ``None``."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _init_guards(source: SourceFile,
+                 init: ast.FunctionDef) -> dict[str, str]:
+    """``{attr: lock}`` from ``# guarded by:`` comments in ``__init__``."""
+    guards: dict[str, str] = {}
+    for node in ast.walk(init):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        attrs = [attr for attr in map(_self_attr, targets)
+                 if attr is not None]
+        if not attrs:
+            continue
+        match = _GUARD_COMMENT_RE.search(source.node_lines(node))
+        if match is None:
+            continue
+        for attr in attrs:
+            guards[attr] = match.group("lock")
+    return guards
+
+
+def _acquired_locks(node: ast.With | ast.AsyncWith) -> frozenset[str]:
+    """Lock attribute names a ``with`` statement takes (``self.X``)."""
+    locks = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            locks.add(attr)
+    return frozenset(locks)
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    code = "SCAR001"
+    name = "lock-discipline"
+    description = ("attributes declared `# guarded by: <lock>` (or in a "
+                   "module-level _GUARDED registry) are only accessed "
+                   "inside `with self.<lock>` blocks")
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return _in_scope(source.module) \
+            or "guarded by:" in source.text or "_GUARDED" in source.text
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        module_guards = _module_guards(source.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(
+                    self._check_class(source, node, module_guards))
+        return findings
+
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef,
+                     module_guards: dict[str, str]) -> Iterator[Finding]:
+        guards = dict(module_guards)
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef) \
+                    and item.name == "__init__":
+                guards.update(_init_guards(source, item))
+        if not guards:
+            return
+        for item in cls.body:
+            if not isinstance(item,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__" or item.name.endswith("_locked"):
+                continue
+            yield from self._check_body(source, cls.name, item.name,
+                                        item.body, guards, frozenset())
+
+    def _check_body(self, source: SourceFile, cls_name: str,
+                    method: str, body: list[ast.stmt],
+                    guards: dict[str, str],
+                    held: frozenset[str]) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._check_node(source, cls_name, method, stmt,
+                                        guards, held)
+
+    def _check_node(self, source: SourceFile, cls_name: str,
+                    method: str, node: ast.AST, guards: dict[str, str],
+                    held: frozenset[str]) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                yield from self._check_node(source, cls_name, method,
+                                            item.context_expr, guards,
+                                            held)
+            inner = held | _acquired_locks(node)
+            yield from self._check_body(source, cls_name, method,
+                                        node.body, guards, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A closure can outlive the lock scope that created it.
+            body = node.body if isinstance(node.body, list) \
+                else [ast.Expr(node.body)]
+            yield from self._check_body(source, cls_name, method, body,
+                                        guards, frozenset())
+            return
+        attr = _self_attr(node)
+        if attr is not None and attr in guards \
+                and guards[attr] not in held:
+            lock = guards[attr]
+            yield source.finding(
+                self.code,
+                f"`self.{attr}` is guarded by `{lock}` but "
+                f"{cls_name}.{method} touches it outside "
+                f"`with self.{lock}`", node)
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_node(source, cls_name, method, child,
+                                        guards, held)

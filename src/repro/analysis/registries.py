@@ -1,0 +1,98 @@
+"""SCAR005: registered plugin names stay reachable and documented.
+
+Policies, engine backends (and future registries, e.g. topologies)
+register by name through decorators::
+
+    @register_policy("scar")
+    @register_backend("process")
+
+A name that is registered but not selectable from the CLI, or not
+mentioned anywhere in README.md/DESIGN.md, is drift: users cannot
+discover it and docs rot silently.  The CLI exposes each registry
+*dynamically* (``--policy`` choices come from
+``DEFAULT_REGISTRY.names()``, ``--backend`` choices from
+``backend_names()``), so CLI reachability is checked structurally: the
+registry's choices call must appear in ``repro.cli``.  Documentation
+coverage is literal: each registered name must appear in README.md or
+DESIGN.md under the lint root.
+
+Both halves degrade gracefully on partial lints: without ``repro.cli``
+in the checked set the CLI check is skipped, and without README/DESIGN
+under the root the docs check is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceFile,
+    register_checker,
+)
+
+#: registrar call -> (registry label, the dynamic-choices expression
+#: the CLI must contain for names of this registry to be selectable).
+_REGISTRARS: dict[str, tuple[str, str]] = {
+    "register_policy": ("policy", "DEFAULT_REGISTRY.names()"),
+    "register_backend": ("backend", "backend_names()"),
+    "register_topology": ("topology", "topology_names()"),
+}
+
+_CLI_MODULE = "repro.cli"
+_DOC_FILES = ("README.md", "DESIGN.md")
+
+
+def _registrations(sources: Sequence[SourceFile]) \
+        -> Iterator[tuple[str, str, SourceFile, ast.Call]]:
+    """Every ``register_*("name")`` call: (registrar, name, file, node)."""
+    for source in sources:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            registrar = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if registrar not in _REGISTRARS:
+                continue
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                yield registrar, node.args[0].value, source, node
+
+
+@register_checker
+class RegistryDriftChecker(Checker):
+    code = "SCAR005"
+    name = "registry-drift"
+    description = ("every @register_policy/@register_backend/"
+                   "@register_topology name is reachable from the CLI "
+                   "choices and mentioned in README.md/DESIGN.md")
+
+    def check_project(self, sources: Sequence[SourceFile],
+                      root: Path) -> Iterable[Finding]:
+        cli = next((source for source in sources
+                    if source.module == _CLI_MODULE), None)
+        docs = "\n".join(
+            (root / name).read_text(encoding="utf-8")
+            for name in _DOC_FILES if (root / name).is_file())
+        findings: list[Finding] = []
+        for registrar, name, source, node in _registrations(sources):
+            label, choices_expr = _REGISTRARS[registrar]
+            if cli is not None and choices_expr not in cli.text:
+                findings.append(source.finding(
+                    self.code,
+                    f"{label} {name!r} is not reachable from the CLI: "
+                    f"repro.cli never builds choices from "
+                    f"{choices_expr}", node))
+            if docs and not re.search(
+                    rf"(?<![A-Za-z0-9_]){re.escape(name)}"
+                    rf"(?![A-Za-z0-9_])", docs):
+                findings.append(source.finding(
+                    self.code,
+                    f"{label} {name!r} is registered but never "
+                    f"mentioned in {' / '.join(_DOC_FILES)}", node))
+        return findings

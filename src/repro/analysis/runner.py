@@ -1,0 +1,90 @@
+"""Lint orchestration: discover files, run checkers, apply noqa.
+
+:func:`lint_paths` is the ``scar lint`` entry point: expand the given
+files/directories to python sources, parse them once, run every
+selected checker (per-file passes on the files they apply to, project
+passes once over the whole set) and fold ``# scar: noqa[CODE]``
+suppressions into the report.  :func:`run_checkers` is the same engine
+over pre-built :class:`~repro.analysis.core.SourceFile` objects --
+what the checker tests drive with fixture snippets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    SourceFile,
+    build_checkers,
+)
+from repro.analysis.report import LintReport
+from repro.errors import AnalysisError
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git"})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories to a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for given in paths:
+        path = Path(given)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def run_checkers(sources: Sequence[SourceFile], *,
+                 select: Sequence[str] | None = None,
+                 ignore: Sequence[str] | None = None,
+                 root: str | Path | None = None) -> LintReport:
+    """Run the selected checkers over ``sources`` and build the report."""
+    checkers = build_checkers(select, ignore)
+    root_path = Path(root) if root is not None else Path.cwd()
+    by_path = {source.path: source for source in sources}
+    raw: list[Finding] = []
+    for checker in checkers:
+        for source in sources:
+            if checker.applies_to(source):
+                raw.extend(checker.check(source))
+        raw.extend(checker.check_project(sources, root_path))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None \
+                and finding.code in source.noqa_codes(finding.line):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return LintReport(findings=tuple(findings),
+                      suppressed=tuple(suppressed),
+                      checked_files=len(sources),
+                      codes=tuple(checker.code for checker in checkers))
+
+
+def lint_paths(paths: Iterable[str | Path], *,
+               select: Sequence[str] | None = None,
+               ignore: Sequence[str] | None = None,
+               root: str | Path | None = None) -> LintReport:
+    """Lint files/directories (the ``scar lint`` engine).
+
+    ``root`` anchors project-level checks that read repo files
+    (README.md/DESIGN.md for SCAR005); it defaults to the working
+    directory, which is the repo root under ``scar lint src/``.
+    """
+    sources = [SourceFile.load(path)
+               for path in iter_python_files(paths)]
+    for source in sources:
+        source.tree  # parse eagerly: unparsable input is a lint error
+    return run_checkers(sources, select=select, ignore=ignore,
+                        root=root)

@@ -96,10 +96,13 @@ class Session:
             else DEFAULT_REGISTRY
         self.max_memo = max_memo
         self.backend = backend
-        self._memo: OrderedDict[str, ScheduleResult] = OrderedDict()
-        self._databases: dict[float, LayerCostDatabase] = {}
-        self._scenarios: OrderedDict[str, Scenario] = OrderedDict()
-        self.perf_reports: list[PerfReport] = []
+        self._memo: OrderedDict[str, ScheduleResult] = \
+            OrderedDict()  # guarded by: _mutex
+        self._databases: dict[float, LayerCostDatabase] = \
+            {}  # guarded by: _mutex
+        self._scenarios: OrderedDict[str, Scenario] = \
+            OrderedDict()  # guarded by: _mutex
+        self.perf_reports: list[PerfReport] = []  # guarded by: _mutex
         self._mutex = threading.RLock()
 
     # -- resource lifecycle ------------------------------------------------

@@ -23,6 +23,7 @@ from repro.core.metrics import (
     WindowMetrics,
 )
 from repro.errors import (
+    AnalysisError,
     ConfigError,
     DataflowError,
     HardwareError,
@@ -201,6 +202,7 @@ _ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
     (DataflowError, "dataflow_error"),
     (SearchError, "search_error"),
     (ConfigError, "config_error"),
+    (AnalysisError, "analysis_error"),
     (ServiceError, "service_error"),
     (ReproError, "repro_error"),
 )

@@ -11,6 +11,7 @@ Regenerates any paper table/figure from the terminal::
     scar sweep --scenarios 1,2 --policies scar,standalone \
         --store campaign.jsonl --workers 4 --fast     # resumable campaign
     scar serve --port 8787 --workers 2                # HTTP job service
+    scar lint src/              # project-invariant static checkers
     scar list                   # available experiments
 
 The ``schedule`` command is a thin shell over :mod:`repro.api`: it builds
@@ -259,6 +260,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import lint_paths
+    from repro.errors import ReproError
+
+    paths = args.paths
+    if not paths:
+        # Bare `scar lint` at the repo root lints the library tree.
+        paths = ["src"] if Path("src").is_dir() else ["."]
+    try:
+        report = lint_paths(paths, select=args.select,
+                            ignore=args.ignore)
+    except ReproError as exc:
+        # Usage/config failures (unknown code, unreadable file) exit 2
+        # so CI can tell "findings" (1) from "lint could not run".
+        _report_error(exc, args.format)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def _report_error(exc: Exception, output_format: str) -> int:
     """Print a failure without a traceback; JSON gets the error document."""
     from repro.api import ErrorDocument
@@ -432,6 +458,24 @@ def build_parser() -> argparse.ArgumentParser:
                        "document)")
     _add_common_options(sweep)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static checkers (SCAR001..)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: src/ "
+                      "when it exists, else the working directory)")
+    lint.add_argument("--select", type=_csv_strs, default=None,
+                      metavar="CODES",
+                      help="run only these checker codes "
+                      "(e.g. SCAR001,SCAR004)")
+    lint.add_argument("--ignore", type=_csv_strs, default=None,
+                      metavar="CODES",
+                      help="skip these checker codes")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="output format: one finding per line, or "
+                      "the lint_report JSON wire document")
+
     serve = sub.add_parser("serve",
                            help="run the HTTP job-scheduling service")
     serve.add_argument("--host", default="127.0.0.1",
@@ -557,6 +601,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
     config = ExperimentConfig.fast(jobs=args.jobs) if args.fast \

@@ -40,6 +40,11 @@ class ConfigError(ReproError):
     """Malformed configuration file or unknown template name."""
 
 
+class AnalysisError(ReproError):
+    """A static-analysis run could not complete (unreadable or
+    unparsable source file, unknown checker code in --select/--ignore)."""
+
+
 class ServiceError(ReproError):
     """Invalid use of the job-oriented scheduling service (result
     requested before completion, submit after shutdown)."""

@@ -214,35 +214,37 @@ class SchedulerService:
         self.job_backend = job_backend
         self.max_pending = max_pending
         self._store = store
-        self._store_stats = CacheStats()
+        self._store_stats = CacheStats()  # guarded by: _lock
         self._pool = self.session.process_pool(workers) \
             if job_backend == "process" else None
         self._queue: queue.PriorityQueue = queue.PriorityQueue()
         self._lock = threading.Lock()
-        self._records: dict[str, JobRecord] = {}
-        self._results: dict[str, ScheduleResult] = {}
-        self._completions: dict[str, _Completion] = {}
-        self._enqueued_at: dict[str, float] = {}
-        self._cancel_requested: set[str] = set()
+        self._records: dict[str, JobRecord] = {}  # guarded by: _lock
+        self._results: dict[str, ScheduleResult] = {}  # guarded by: _lock
+        self._completions: dict[str, _Completion] = {}  # guarded by: _lock
+        self._enqueued_at: dict[str, float] = {}  # guarded by: _lock
+        self._cancel_requested: set[str] = set()  # guarded by: _lock
         #: per-state record tally, maintained incrementally on every
         #: transition so /v1/health and admission checks are O(states),
         #: not O(jobs).
-        self._counts: dict[str, int] = {state: 0
-                                        for state in jobstate.JOB_STATES}
+        self._counts: dict[str, int] = {  # guarded by: _lock
+            state: 0 for state in jobstate.JOB_STATES}
         #: job id -> terminal sequence number, in terminal order; the
         #: eviction order for ``retain`` (an ordered dict so eviction
         #: pops are O(1) instead of ``list.remove``'s O(n)).
-        self._terminal_order: OrderedDict[str, int] = OrderedDict()
+        self._terminal_order: OrderedDict[str, int] = \
+            OrderedDict()  # guarded by: _lock
         self._terminal_seq = itertools.count()
-        self._retrieved: set[str] = set()  # results fetched at least once
+        # results fetched at least once
+        self._retrieved: set[str] = set()  # guarded by: _lock
         #: (terminal seq, job id) min-heap of retrieved jobs: the
         #: eviction preference queue.  Entries are lazily invalidated --
         #: an already-evicted head is popped and skipped -- which keeps
         #: the bit-identical "oldest retrieved first" policy of the old
         #: linear scan at O(log n).
-        self._retrieved_heap: list[tuple[int, str]] = []
+        self._retrieved_heap: list[tuple[int, str]] = []  # guarded by: _lock
         self._seq = itertools.count()
-        self._closed = False
+        self._closed = False  # guarded by: _lock
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"repro-service-worker-{i}")

@@ -234,3 +234,71 @@ class TestResultRoundTrip:
             result.value("latency") * result.value("energy"))
         with pytest.raises(ConfigError):
             result.value("power")
+
+
+class TestLintReportRoundTrip:
+    """The lint report is a first-class wire document (kind lint_report)."""
+
+    @pytest.fixture
+    def report(self):
+        from repro.analysis import Finding, LintReport
+
+        finding = Finding(code="SCAR002", message="time.time in engine",
+                          path="src/repro/engine/x.py", line=12, col=4)
+        muted = Finding(code="SCAR005", message="undocumented policy",
+                        path="src/repro/api/policies.py", line=3)
+        return LintReport(findings=(finding,), suppressed=(muted,),
+                          checked_files=88,
+                          codes=("SCAR002", "SCAR005"))
+
+    def test_dict_round_trip(self, report):
+        from repro.analysis import LintReport
+
+        assert LintReport.from_dict(report.to_dict()) == report
+
+    def test_json_round_trip(self, report):
+        from repro.analysis import LintReport
+
+        clone = LintReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.counts() == {"SCAR002": 1}
+        assert not clone.clean
+
+    def test_envelope_kind_and_version(self, report):
+        from repro.analysis import REPORT_KIND
+        from repro.api.wire import WIRE_VERSION
+
+        data = report.to_dict()
+        assert data["kind"] == REPORT_KIND
+        assert data["version"] == WIRE_VERSION
+
+    def test_missing_envelope_rejected(self, report):
+        from repro.analysis import LintReport
+
+        for dropped in ("kind", "version"):
+            data = report.to_dict()
+            del data[dropped]
+            with pytest.raises(ConfigError, match="kind|version"):
+                LintReport.from_dict(data)
+
+    def test_wrong_kind_rejected(self, report):
+        from repro.analysis import LintReport
+
+        data = report.to_dict()
+        data["kind"] = "schedule_result"
+        with pytest.raises(ConfigError, match="kind"):
+            LintReport.from_dict(data)
+
+    def test_malformed_json_is_config_error(self):
+        from repro.analysis import LintReport
+
+        with pytest.raises(ConfigError, match="lint report"):
+            LintReport.from_json("{not json")
+
+    def test_malformed_findings_rejected(self, report):
+        from repro.analysis import LintReport
+
+        data = report.to_dict()
+        data["findings"] = [{"code": "SCAR001"}]  # missing fields
+        with pytest.raises(ConfigError, match="malformed finding"):
+            LintReport.from_dict(data)

@@ -1,0 +1,96 @@
+"""Unit tests for schedule analysis (breakdowns and Gantt rendering)."""
+
+import pytest
+
+from repro.core.analysis import analyze_schedule, gantt
+from repro.core.metrics import ScheduleEvaluator
+from repro.core.schedule import Schedule, Segment, WindowSchedule
+
+
+@pytest.fixture
+def evaluator(tiny_scenario, het_mcm, database):
+    return ScheduleEvaluator(tiny_scenario, het_mcm, database)
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(windows=(
+        WindowSchedule(index=0, chains=(
+            (Segment(0, 0, 2, node=1), Segment(0, 2, 4, node=4)),
+            (Segment(1, 0, 3, node=0),))),
+    ))
+
+
+class TestAnalysis:
+    def test_traffic_breakdown_accounts_weights(self, schedule,
+                                                tiny_scenario, evaluator):
+        report = analyze_schedule(schedule, tiny_scenario, evaluator)
+        expected_weights = sum(inst.model.total_weight_bytes
+                               for inst in tiny_scenario)
+        assert report.traffic.offchip_weight_bytes \
+            == pytest.approx(expected_weights)
+
+    def test_nop_traffic_only_for_split_chains(self, tiny_scenario,
+                                               evaluator):
+        unsplit = Schedule(windows=(WindowSchedule(index=0, chains=(
+            (Segment(0, 0, 4, node=1),),
+            (Segment(1, 0, 3, node=0),))),))
+        report = analyze_schedule(unsplit, tiny_scenario, evaluator)
+        assert report.traffic.nop_bytes == 0.0
+        assert 0.0 <= report.traffic.on_package_fraction <= 1.0
+
+    def test_split_chain_has_nop_traffic(self, schedule, tiny_scenario,
+                                         evaluator):
+        report = analyze_schedule(schedule, tiny_scenario, evaluator)
+        boundary = tiny_scenario[0].layer(1)  # layer 1 output crosses
+        assert report.traffic.nop_bytes \
+            == pytest.approx(boundary.output_bytes)
+
+    def test_utilization_covers_all_chiplets(self, schedule,
+                                             tiny_scenario, evaluator):
+        report = analyze_schedule(schedule, tiny_scenario, evaluator)
+        assert len(report.utilization) == evaluator.mcm.num_chiplets
+        used = {u.node for u in report.utilization if u.windows_active}
+        assert used == {0, 1, 4}
+        idle = [u for u in report.utilization if not u.windows_active]
+        assert all(u.busy_s == 0.0 for u in idle)
+
+    def test_energy_split_sums_to_total(self, schedule, tiny_scenario,
+                                        evaluator):
+        report = analyze_schedule(schedule, tiny_scenario, evaluator)
+        assert report.compute_energy_j > 0
+        assert report.comm_energy_j >= 0
+        assert report.compute_energy_j + report.comm_energy_j \
+            <= report.metrics.energy_j * 1.001
+
+    def test_mean_busy_fraction_bounded(self, schedule, tiny_scenario,
+                                        evaluator):
+        report = analyze_schedule(schedule, tiny_scenario, evaluator)
+        assert 0.0 < report.mean_busy_fraction
+
+    def test_render(self, schedule, tiny_scenario, evaluator):
+        text = analyze_schedule(schedule, tiny_scenario,
+                                evaluator).render()
+        assert "on-package" in text and "busy" in text
+
+
+class TestGantt:
+    def test_rows_per_chiplet(self, schedule, tiny_scenario, evaluator):
+        chart = gantt(schedule, tiny_scenario, evaluator)
+        lines = chart.splitlines()
+        assert len(lines) == evaluator.mcm.num_chiplets + 1  # + legend
+
+    def test_markers_match_models(self, schedule, tiny_scenario,
+                                  evaluator):
+        chart = gantt(schedule, tiny_scenario, evaluator)
+        lines = chart.splitlines()
+        assert "t" in lines[1]  # tinyconv on c1
+        assert "t" in lines[0]  # tinygemm on c0 (both start with 't')
+        assert "legend" in lines[-1]
+
+    def test_idle_chiplets_dotted(self, schedule, tiny_scenario,
+                                  evaluator):
+        chart = gantt(schedule, tiny_scenario, evaluator)
+        # Node 8 hosts nothing.
+        row8 = chart.splitlines()[8]
+        assert set(row8.split("|")[1]) == {"."}
