@@ -1,9 +1,9 @@
 """SCAR002: no nondeterminism sources in the bit-identity kernel paths.
 
-The engine, the sweep layer and the scenario generator promise
-bit-identical results across reruns, worker counts and processes
-(golden tests, resumable stores and the cross-replica cache all gate on
-it).  Three things silently break that promise:
+The engine, the sweep layer, the scenario generator and the simulation
+layer promise bit-identical results across reruns, worker counts and
+processes (golden tests, resumable stores, the cross-replica cache and
+the warm-vs-cold replay parity contract all gate on it).  Three things silently break that promise:
 
 * module-level ``random.*`` functions (the process-wide RNG; its state
   depends on import order and other callers) -- seeded
@@ -29,7 +29,8 @@ from repro.analysis.core import (
 )
 
 #: Modules where bit-identical results are gated.
-_SCOPE = ("repro.engine", "repro.sweep", "repro.workloads.generator")
+_SCOPE = ("repro.engine", "repro.sweep", "repro.workloads.generator",
+          "repro.sim")
 
 #: The only sanctioned attributes of the ``random`` module: seeded
 #: generator construction, and the Random class used in annotations.

@@ -53,6 +53,7 @@ def _run_scar(ctx: PolicyContext, seg_search: str) -> PolicyOutcome:
         backend=ctx.effective_backend(),
         beam=request.beam,
         use_cache=request.use_eval_cache,
+        cache=ctx.eval_cache,
     )
     result = scheduler.schedule(ctx.scenario)
     return PolicyOutcome(schedule=result.schedule, metrics=result.metrics,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.evalcache import EvalCache
 from repro.core.metrics import ScheduleMetrics
 from repro.core.scar import SCARResult
 from repro.core.schedule import Schedule
@@ -41,6 +42,14 @@ class PolicyContext:
     applied when the request leaves ``backend=None`` (see
     :mod:`repro.engine.backends`); policies that do not search (the
     baselines) ignore it.
+
+    ``eval_cache`` is an optional caller-owned
+    :class:`~repro.core.evalcache.EvalCache` to run warm.  The session
+    populates it (per scenario + template) when constructed with
+    ``warm_caches=True`` so repeated requests against the same workload
+    — the simulation replay's event loop, see :mod:`repro.sim` — skip
+    re-costing unchanged segments.  Policies that do not search ignore
+    it.
     """
 
     request: "ScheduleRequest"
@@ -48,6 +57,7 @@ class PolicyContext:
     mcm: MCM
     database: LayerCostDatabase
     default_backend: str | None = None
+    eval_cache: "EvalCache | None" = None
 
     def effective_backend(self) -> str | None:
         """The backend this run should use (request wins over session)."""

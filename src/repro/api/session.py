@@ -39,6 +39,7 @@ from repro.api.registry import (
 )
 from repro.api.request import ScheduleRequest, ScheduleResult
 from repro.api.wire import CandidatePoint
+from repro.core.evalcache import EvalCache
 from repro.dataflow.database import LayerCostDatabase
 from repro.engine.backends import backend_names
 from repro.errors import ConfigError
@@ -54,6 +55,12 @@ _PERF_REPORTS_CAP = 4096
 #: each a distinct key, so the cache must not grow per unique spec.
 #: Evicted scenarios re-resolve deterministically on the next submit.
 _SCENARIO_CACHE_CAP = 1024
+
+#: LRU cap on warm evaluator caches (``warm_caches=True`` sessions).
+#: One cache per (scenario, template) pair; the simulation replay
+#: revisits a handful of tenant sets, so a small cap suffices and an
+#: evicted cache merely re-warms on the next submit.
+_EVAL_CACHE_CAP = 32
 
 
 class Session:
@@ -80,11 +87,24 @@ class Session:
     scheduler.  Backends are bit-identical by contract, so the memo key
     (which covers the *request's* ``backend`` field only) stays valid
     across session backends.
+
+    ``warm_caches=True`` keeps one long-lived
+    :class:`~repro.core.evalcache.EvalCache` per (scenario, template)
+    pair and injects it into every SCAR-family run, so repeated requests
+    against the same workload start with their segment/window memo
+    tables warm.  Caches are keyed on the scenario identity because
+    EvalCache keys carry scenario-relative model *indices* -- sharing
+    one cache across different tenant sets would alias.  Entries are
+    pure functions of their keys, so warm results stay bit-identical to
+    cold ones (the simulation replay's parity contract, see
+    :mod:`repro.sim.replay`).  Requests with ``use_eval_cache=False``
+    bypass warming entirely.
     """
 
     def __init__(self, registry: SchedulerRegistry | None = None, *,
                  max_memo: int | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 warm_caches: bool = False) -> None:
         if max_memo is not None and max_memo < 0:
             raise ConfigError(
                 f"max_memo must be None or >= 0, got {max_memo}")
@@ -96,13 +116,17 @@ class Session:
             else DEFAULT_REGISTRY
         self.max_memo = max_memo
         self.backend = backend
+        self.warm_caches = warm_caches
         self._memo: OrderedDict[str, ScheduleResult] = \
             OrderedDict()  # guarded by: _mutex
         self._databases: dict[float, LayerCostDatabase] = \
             {}  # guarded by: _mutex
         self._scenarios: OrderedDict[str, Scenario] = \
             OrderedDict()  # guarded by: _mutex
+        self._eval_caches: OrderedDict[str, EvalCache] = \
+            OrderedDict()  # guarded by: _mutex
         self.perf_reports: list[PerfReport] = []  # guarded by: _mutex
+        self.perf_reports_dropped = 0  # guarded by: _mutex
         self._mutex = threading.RLock()
 
     # -- resource lifecycle ------------------------------------------------
@@ -114,12 +138,21 @@ class Session:
                     LayerCostDatabase(clock_hz=clock_hz)
             return self._databases[clock_hz]
 
+    @staticmethod
+    def _scenario_key(request: ScheduleRequest) -> str:
+        """Identity of the workload a request resolves to.
+
+        Shared by the scenario cache and the warm evaluator caches: two
+        requests with the same key schedule the same tenant set.
+        """
+        if request.scenario_id is not None:
+            return f"id:{request.scenario_id}"
+        return "spec:" + json.dumps(request.scenario_spec,
+                                    sort_keys=True,
+                                    separators=(",", ":"))
+
     def _scenario(self, request: ScheduleRequest) -> Scenario:
-        key = f"id:{request.scenario_id}" \
-            if request.scenario_id is not None \
-            else "spec:" + json.dumps(request.scenario_spec,
-                                      sort_keys=True,
-                                      separators=(",", ":"))
+        key = self._scenario_key(request)
         with self._mutex:
             cached = self._scenarios.get(key)
             if cached is not None:
@@ -135,6 +168,27 @@ class Session:
             while len(self._scenarios) > _SCENARIO_CACHE_CAP:
                 self._scenarios.popitem(last=False)
             return scenario
+
+    def _warm_cache(self, request: ScheduleRequest) -> EvalCache | None:
+        """The long-lived evaluator cache for ``request``'s workload.
+
+        ``None`` unless this is a ``warm_caches`` session and the request
+        wants evaluator caching at all.  Keyed per (scenario, template):
+        EvalCache keys carry scenario-relative model indices, so a cache
+        is only valid for the exact tenant set it was warmed on.
+        """
+        if not self.warm_caches or not request.use_eval_cache:
+            return None
+        key = self._scenario_key(request) + "|tpl:" + request.template
+        with self._mutex:
+            cache = self._eval_caches.get(key)
+            if cache is None:
+                cache = EvalCache(enabled=True)
+                self._eval_caches[key] = cache
+            self._eval_caches.move_to_end(key)
+            while len(self._eval_caches) > _EVAL_CACHE_CAP:
+                self._eval_caches.popitem(last=False)
+            return cache
 
     # -- result memo -------------------------------------------------------
 
@@ -195,7 +249,8 @@ class Session:
         mcm = templates.build(request.template, scenario.use_case)
         ctx = PolicyContext(request=request, scenario=scenario, mcm=mcm,
                             database=self._database(mcm.clock_hz),
-                            default_backend=self.backend)
+                            default_backend=self.backend,
+                            eval_cache=self._warm_cache(request))
         outcome = self.registry.run(ctx)
         result = self._wrap(request, outcome)
         if result.perf is not None:
@@ -208,8 +263,9 @@ class Session:
         with self._mutex:
             self.perf_reports.append(perf)
             if len(self.perf_reports) > _PERF_REPORTS_CAP:
-                del self.perf_reports[
-                    :len(self.perf_reports) - _PERF_REPORTS_CAP]
+                excess = len(self.perf_reports) - _PERF_REPORTS_CAP
+                del self.perf_reports[:excess]
+                self.perf_reports_dropped += excess
 
     def submit_many(self, requests: Iterable[ScheduleRequest], *,
                     jobs: int = 1) -> list[ScheduleResult]:
@@ -290,15 +346,37 @@ class Session:
 
     # -- reporting ---------------------------------------------------------
 
+    def perf_log_position(self) -> int:
+        """Monotone count of reports ever logged (drops included).
+
+        Snapshot it around a submit and feed the difference to
+        :meth:`perf_reports_tail` to attribute evaluator work to that
+        submit -- the simulation replay's per-event accounting.  Unlike
+        ``len(perf_reports)``, cap trimming never moves it backwards.
+        """
+        with self._mutex:
+            return len(self.perf_reports) + self.perf_reports_dropped
+
+    def perf_reports_tail(self, count: int) -> list[PerfReport]:
+        """The most recent ``count`` logged reports (possibly fewer)."""
+        if count <= 0:
+            return []
+        with self._mutex:
+            return list(self.perf_reports[-count:])
+
     def perf_summary(self) -> PerfReport:
         """Aggregate perf report over every SCAR run this session made.
 
         Snapshots the log under the lock so a concurrent worker's append
-        or cap-trim cannot tear the aggregate.
+        or cap-trim cannot tear the aggregate.  ``reports_dropped`` on
+        the aggregate counts runs the 4096-entry cap evicted -- when it
+        is non-zero the summary undercounts (a long simulation replay
+        can exceed the cap; see :mod:`repro.sim`).
         """
         with self._mutex:
             reports = list(self.perf_reports)
-        return aggregate_reports(reports)
+            dropped = self.perf_reports_dropped
+        return aggregate_reports(reports, reports_dropped=dropped)
 
     # -- result assembly ---------------------------------------------------
 

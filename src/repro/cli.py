@@ -10,6 +10,8 @@ Regenerates any paper table/figure from the terminal::
     scar generate --kind random-mix --seed 7 --count 4 --output-dir work/
     scar sweep --scenarios 1,2 --policies scar,standalone \
         --store campaign.jsonl --workers 4 --fast     # resumable campaign
+    scar sweep --scenarios 1,2 --store campaign.jsonl --status
+    scar simulate --family uunifast --seed 7 --fast   # dynamic tenants
     scar serve --port 8787 --workers 2                # HTTP job service
     scar lint src/              # project-invariant static checkers
     scar list                   # available experiments
@@ -24,7 +26,13 @@ the JSON path print a structured error document (``kind: "error"``)
 instead of a traceback.  The ``generate`` and ``sweep`` commands drive
 :mod:`repro.workloads.generator` and :mod:`repro.sweep` (seeded
 scenario families; resumable grid campaigns -- see DESIGN.md "Scenario
-generation and sweeps").  The ``serve`` command runs the
+generation and sweeps"); ``sweep --status`` reports a campaign's
+finished/pending cells against its store without running anything.
+The ``simulate`` command replays a dynamic tenant arrival/departure
+trace through :mod:`repro.sim` -- re-scheduling the active tenant set
+at every event and reporting deadline misses, SLA slack and schedule
+churn (see DESIGN.md "The simulation layer").  The ``serve`` command
+runs the
 :mod:`repro.service` HTTP front-end (``POST /v1/jobs`` and friends, see
 DESIGN.md "The repro.service layer") until interrupted.
 
@@ -197,7 +205,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import scenario_spec
     from repro.config import load_json, scenario_from_dict
     from repro.errors import ConfigError, ReproError
-    from repro.sweep import ResultStore, SweepSpec, run_sweep, sweep_report
+    from repro.sweep import (
+        ResultStore,
+        SweepSpec,
+        run_sweep,
+        sweep_report,
+        sweep_status,
+    )
 
     try:
         if args.spec:
@@ -246,6 +260,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 beams=tuple(args.beams) if args.beams else (None,),
                 budget=config.budget, jobs=args.jobs)
         store = ResultStore(args.store) if args.store else None
+        if args.status:
+            # Read-only progress view: expand the grid, check each
+            # cell against the store, run nothing.
+            status = sweep_status(spec, store)
+            if args.format == "json":
+                print(json.dumps(status.to_document(), indent=2,
+                                 sort_keys=True))
+            else:
+                print(status.render())
+            return 0
         outcome = run_sweep(spec, store=store, workers=args.workers)
     except ReproError as exc:
         return _report_error(exc, args.format)
@@ -258,6 +282,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
             print(outcome.perf.render())
     return 1 if outcome.failures else 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.config import load_json
+    from repro.errors import ConfigError, ReproError
+    from repro.sim import (
+        Trace,
+        TraceSpec,
+        build_report,
+        generate_trace,
+        replay,
+    )
+
+    config = ExperimentConfig.fast() if args.fast else ExperimentConfig()
+    try:
+        if args.trace and args.spec:
+            raise ConfigError(
+                "use at most one of --trace and --spec")
+        if args.trace:
+            trace = Trace.from_dict(load_json(args.trace))
+        elif args.spec:
+            trace = generate_trace(TraceSpec.from_dict(
+                load_json(args.spec)))
+        else:
+            trace = generate_trace(TraceSpec(
+                family=args.family, seed=args.seed,
+                tenants=args.tenants, horizon=args.horizon,
+                use_case=args.use_case,
+                utilization=args.utilization))
+        client = None
+        if args.service:
+            from repro.service import ServiceClient
+
+            client = ServiceClient(args.service)
+        outcomes = replay(
+            trace, mode=args.mode, template=args.template,
+            policy=args.policy, objective=args.objective,
+            nsplits=config.nsplits, budget=config.budget,
+            backend=args.backend, beam=args.beam, jobs=args.jobs,
+            client=client)
+        report = build_report(trace, args.mode, outcomes)
+    except ReproError as exc:
+        return _report_error(exc, args.format)
+    if args.output:
+        from repro.config import save_json
+
+        try:
+            save_json(report.to_dict(), args.output)
+        except OSError as exc:
+            return _report_error(exc, args.format)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+        if args.output:
+            print(f"sim report written to {args.output}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -448,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--store", default=None, metavar="JSONL",
                        help="resumable result store; finished cells are "
                        "skipped on rerun")
+    sweep.add_argument("--status", action="store_true",
+                       help="report campaign progress (finished/pending "
+                       "cells against --store) without running anything")
     sweep.add_argument("--workers", type=_positive_int, default=1,
                        metavar="N",
                        help="service worker threads (default: 1; results "
@@ -457,6 +543,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report format (json: the sweep_report "
                        "document)")
     _add_common_options(sweep)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="replay a dynamic tenant arrival/departure trace")
+    simulate.add_argument("--trace", default=None, metavar="JSON",
+                          help="replay a trace document "
+                          "(kind: \"trace\")")
+    simulate.add_argument("--spec", default=None, metavar="JSON",
+                          help="generate the trace from a trace_spec "
+                          "document instead")
+    simulate.add_argument("--family", default="arrivals",
+                          choices=("arrivals", "uunifast"),
+                          help="without --trace/--spec: the seeded trace "
+                          "family (default: arrivals)")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="trace seed (same seed = identical trace)")
+    simulate.add_argument("--tenants", type=_positive_int, default=4,
+                          metavar="N",
+                          help="tenant lifecycles to generate "
+                          "(default: 4)")
+    simulate.add_argument("--horizon", type=_positive_int, default=16,
+                          metavar="T",
+                          help="trace length in ticks (default: 16)")
+    simulate.add_argument("--use-case", default="datacenter",
+                          choices=("datacenter", "arvr"),
+                          help="constrains the model/batch pools "
+                          "(default: datacenter)")
+    simulate.add_argument("--utilization", type=float, default=0.5,
+                          metavar="U",
+                          help="uunifast: total utilization budget in "
+                          "(0, 1] (default: 0.5)")
+    simulate.add_argument("--template", default="het_sides_3x3",
+                          help="MCM template name")
+    simulate.add_argument("--policy", default="scar",
+                          choices=DEFAULT_REGISTRY.names(),
+                          help="scheduler policy (default: scar)")
+    simulate.add_argument("--objective", default="edp",
+                          choices=("latency", "energy", "edp"))
+    simulate.add_argument("--mode", default="warm",
+                          choices=("warm", "cold"),
+                          help="warm: one session re-used across events "
+                          "(memo + evaluator caches); cold: from "
+                          "scratch per event.  Results are bit-"
+                          "identical either way (default: warm)")
+    simulate.add_argument("--service", default=None, metavar="URL",
+                          help="submit each event's request to a live "
+                          "'scar serve' replica instead of scheduling "
+                          "in-process")
+    simulate.add_argument("--format", default="text",
+                          choices=("text", "json"),
+                          help="output format: human-readable text or "
+                          "the sim_report JSON wire document")
+    simulate.add_argument("--output", default=None,
+                          help="write the sim_report JSON document here")
+    _add_engine_options(simulate)
+    _add_common_options(simulate)
 
     lint = sub.add_parser(
         "lint",
@@ -601,6 +743,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "serve":

@@ -50,7 +50,7 @@ from repro.engine.provisioning import window_allocations, window_shares
 from repro.engine.search import WindowSearch
 from repro.errors import SearchError
 from repro.mcm.package import MCM
-from repro.perf import PerfReport, log_report, merge_stats
+from repro.perf import PerfReport, diff_stats, log_report, merge_stats
 from repro.workloads.model import Scenario
 
 __all__ = ["SCARResult", "SCARScheduler", "assemble_candidate_points"]
@@ -107,6 +107,18 @@ class SCARScheduler:
     ``use_delta``            enable the chain-level delta-evaluation fast
                              path (bit-identical on or off; off is only
                              useful for measuring what it saves).
+    ``cache``                inject a caller-owned :class:`EvalCache`
+                             instead of building a fresh one per
+                             :meth:`schedule` call.  A long-lived front-end
+                             (the warm simulation replay, see
+                             :mod:`repro.sim`) shares one cache across
+                             runs *of the same scenario + MCM*, so
+                             repeated searches start warm; entries are
+                             pure functions of their keys, so results
+                             stay bit-identical.  The per-run perf report
+                             still counts only this run's lookups (the
+                             scheduler snapshots the cache counters
+                             around the run).
     """
 
     def __init__(self, mcm: MCM, *, objective: Objective | None = None,
@@ -118,7 +130,8 @@ class SCARScheduler:
                  ga_config: GAConfig | None = None,
                  prov_limit: int = 64, jobs: int = 1,
                  backend: str | None = None, beam: int | None = None,
-                 use_cache: bool = True, use_delta: bool = True) -> None:
+                 use_cache: bool = True, use_delta: bool = True,
+                 cache: EvalCache | None = None) -> None:
         if packing not in ("greedy", "uniform"):
             raise SearchError(f"unknown packing mode {packing!r}")
         if provisioning not in ("uniform", "exhaustive"):
@@ -141,6 +154,7 @@ class SCARScheduler:
         self.jobs = jobs
         self.use_cache = use_cache
         self.use_delta = use_delta
+        self.cache = cache
         self.window_search = WindowSearch(beam=beam)
         self.backend: ExecutionBackend = resolve_backend(backend, jobs)
 
@@ -158,7 +172,11 @@ class SCARScheduler:
         backend produces bit-identical results.
         """
         wall_start = time.perf_counter()
-        cache = EvalCache(enabled=self.use_cache)
+        cache = self.cache if self.cache is not None \
+            else EvalCache(enabled=self.use_cache)
+        # An injected cache outlives this run; snapshot its counters so
+        # the perf report covers this run's lookups only.
+        cache_before = cache.snapshot() if self.cache is not None else None
         evaluator = CandidateEvaluator(scenario, self.mcm, self.database,
                                        cache=cache, delta=self.use_delta)
         expected_lat = expected_layer_latencies(scenario, self.mcm,
@@ -199,7 +217,10 @@ class SCARScheduler:
             # The backend's parallelism, not the configured ``jobs``: an
             # explicit serial backend overriding jobs=N reports 1.
             jobs=self.backend.jobs,
-            cache=merge_stats(cache.snapshot(), *worker_stats),
+            cache=merge_stats(
+                cache.snapshot() if cache_before is None
+                else diff_stats(cache.snapshot(), cache_before),
+                *worker_stats),
             num_segments=eval_stats.num_segments,
             num_segments_recosted=eval_stats.num_segments_recosted,
         )

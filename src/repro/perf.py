@@ -60,6 +60,26 @@ def merge_stats(*stat_maps: dict[str, CacheStats]) -> dict[str, CacheStats]:
     return merged
 
 
+def diff_stats(after: dict[str, CacheStats],
+               before: dict[str, CacheStats]) -> dict[str, CacheStats]:
+    """Per-table counter delta ``after - before``.
+
+    A long-lived :class:`repro.core.evalcache.EvalCache` (the warm
+    simulation replay injects one, see :mod:`repro.sim`) accumulates
+    counters across runs; the scheduler snapshots them before a run and
+    diffs afterwards so each :class:`PerfReport` covers that run only.
+    Tables absent from ``before`` count from zero; negative deltas never
+    occur because counters are monotone.
+    """
+    delta: dict[str, CacheStats] = {}
+    for table, entry in after.items():
+        base = before.get(table, CacheStats())
+        delta[table] = CacheStats(hits=entry.hits - base.hits,
+                                  misses=entry.misses - base.misses,
+                                  evictions=entry.evictions - base.evictions)
+    return delta
+
+
 @dataclass
 class PerfReport:
     """Timing / evaluation statistics of one scheduling run.
@@ -76,6 +96,11 @@ class PerfReport:
                                difference is what the engine's
                                delta-evaluation fast path saved (see
                                :class:`repro.engine.CandidateEvaluator`).
+    ``reports_dropped``        on an *aggregate* report: how many
+                               per-run reports the capped log evicted
+                               before this summary was taken (0 on a
+                               single run's report).  Non-zero means the
+                               summary undercounts.
     """
 
     wall_s: float = 0.0
@@ -85,6 +110,7 @@ class PerfReport:
     cache: dict[str, CacheStats] = field(default_factory=dict)
     num_segments: int = 0
     num_segments_recosted: int = 0
+    reports_dropped: int = 0
 
     @property
     def evals_per_s(self) -> float:
@@ -116,6 +142,10 @@ class PerfReport:
             f"evaluations    {self.num_evaluated} window candidates over "
             f"{self.num_windows} windows ({self.evals_per_s:.0f} evals/s)",
         ]
+        if self.reports_dropped:
+            lines.append(
+                f"dropped        {self.reports_dropped} per-run reports "
+                f"evicted by the log cap (summary undercounts)")
         if self.num_segments:
             lines.append(
                 f"segments       {self.num_segments_recosted}/"
@@ -139,6 +169,7 @@ class PerfReport:
             "num_segments": self.num_segments,
             "num_segments_recosted": self.num_segments_recosted,
             "segment_reuse_rate": self.segment_reuse_rate,
+            "reports_dropped": self.reports_dropped,
             "cache": {table: stats.to_dict()
                       for table, stats in sorted(self.cache.items())},
         }
@@ -186,10 +217,14 @@ class TimingSummary:
 
 
 def aggregate_reports(reports: list[PerfReport],
-                      jobs: int | None = None) -> PerfReport:
+                      jobs: int | None = None,
+                      reports_dropped: int = 0) -> PerfReport:
     """Merge perf reports of many runs into one summary.
 
     ``jobs`` defaults to the largest worker count any report used.
+    ``reports_dropped`` records how many per-run reports the caller's
+    capped log evicted before ``reports`` was taken (also summed with
+    any drops the inputs themselves carry).
     """
     return PerfReport(
         wall_s=sum(p.wall_s for p in reports),
@@ -201,6 +236,8 @@ def aggregate_reports(reports: list[PerfReport],
         num_segments=sum(p.num_segments for p in reports),
         num_segments_recosted=sum(p.num_segments_recosted
                                   for p in reports),
+        reports_dropped=reports_dropped + sum(p.reports_dropped
+                                              for p in reports),
     )
 
 
@@ -213,16 +250,32 @@ GLOBAL_PERF: list[PerfReport] = []
 
 _GLOBAL_PERF_CAP = 4096
 
+#: Reports evicted from :data:`GLOBAL_PERF` by the cap since the last
+#: :func:`drain_perf_reports`.  Surfaced so long replays (thousands of
+#: scheduling runs, see :mod:`repro.sim`) cannot silently truncate the
+#: perf record; read it via :func:`global_reports_dropped`.
+_GLOBAL_PERF_DROPPED = 0
+
 
 def log_report(report: PerfReport) -> None:
     """Append to the process-wide perf log, evicting the oldest past cap."""
+    global _GLOBAL_PERF_DROPPED
     GLOBAL_PERF.append(report)
     if len(GLOBAL_PERF) > _GLOBAL_PERF_CAP:
-        del GLOBAL_PERF[:len(GLOBAL_PERF) - _GLOBAL_PERF_CAP]
+        excess = len(GLOBAL_PERF) - _GLOBAL_PERF_CAP
+        del GLOBAL_PERF[:excess]
+        _GLOBAL_PERF_DROPPED += excess
+
+
+def global_reports_dropped() -> int:
+    """Reports the cap evicted since the last drain."""
+    return _GLOBAL_PERF_DROPPED
 
 
 def drain_perf_reports() -> list[PerfReport]:
-    """Return and clear the process-wide perf log."""
+    """Return and clear the process-wide perf log (drop counter included)."""
+    global _GLOBAL_PERF_DROPPED
     reports = list(GLOBAL_PERF)
     GLOBAL_PERF.clear()
+    _GLOBAL_PERF_DROPPED = 0
     return reports

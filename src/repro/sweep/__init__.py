@@ -22,10 +22,11 @@ Experiment drivers reuse the same execution layer through
 from repro.sweep.report import SweepReport, sweep_report
 from repro.sweep.runner import SweepOutcome, run_requests, run_sweep
 from repro.sweep.spec import SweepSpec, cell_scenario_label
+from repro.sweep.status import SweepStatus, sweep_status
 from repro.sweep.store import CELL_KIND, ResultStore
 
 __all__ = [
     "CELL_KIND", "ResultStore", "SweepOutcome", "SweepReport",
-    "SweepSpec", "cell_scenario_label", "run_requests", "run_sweep",
-    "sweep_report",
+    "SweepSpec", "SweepStatus", "cell_scenario_label", "run_requests",
+    "run_sweep", "sweep_report", "sweep_status",
 ]

@@ -302,3 +302,144 @@ class TestLintReportRoundTrip:
         data["findings"] = [{"code": "SCAR001"}]  # missing fields
         with pytest.raises(ConfigError, match="malformed finding"):
             LintReport.from_dict(data)
+
+
+def _random_trace(rng: random.Random):
+    """A seeded, valid trace: staircase lifecycles over random models."""
+    from repro.sim import TenantEvent, Trace
+
+    models = ("eyecod", "hand_sp", "emformer", "resnet50")
+    events = []
+    tick = 0
+    active = []
+    for i in range(rng.randrange(1, 5)):
+        tenant = f"{rng.choice(models)}#t{i}"
+        events.append(TenantEvent(
+            tick=tick, kind="arrive", tenant=tenant,
+            model=rng.choice(models), batch=rng.randrange(1, 16),
+            deadline_s=rng.choice([None, rng.uniform(0.01, 1.0)])))
+        active.append(tenant)
+        tick += rng.randrange(0, 3)
+    for tenant in active:
+        tick += rng.randrange(1, 3)
+        events.append(TenantEvent(tick=tick, kind="depart",
+                                  tenant=tenant))
+    return Trace(name=f"wire:{rng.randrange(1 << 16)}",
+                 events=tuple(sorted(events, key=TenantEvent.sort_key)),
+                 use_case=rng.choice(("datacenter", "arvr")))
+
+
+def _random_trace_spec(rng: random.Random):
+    from repro.sim import TraceSpec
+
+    return TraceSpec(
+        family=rng.choice(("arrivals", "uunifast")),
+        seed=rng.randrange(1 << 16),
+        tenants=rng.randrange(1, 8),
+        horizon=rng.randrange(2, 40),
+        use_case=rng.choice(("datacenter", "arvr")),
+        models=rng.choice([None, ("eyecod", "hand_sp")]),
+        batches=rng.choice([None, (1, 2, 4)]),
+        utilization=rng.uniform(0.05, 1.0),
+        deadline_range=rng.choice(
+            [None, (rng.uniform(0.001, 0.01), rng.uniform(0.02, 2.0))]),
+        name=rng.choice([None, f"spec:{rng.randrange(100)}"]),
+    )
+
+
+def _random_sim_report(rng: random.Random):
+    from repro.sim import SimReport, TenantReport
+
+    tenants = []
+    for i in range(rng.randrange(0, 4)):
+        deadline = rng.choice([None, rng.uniform(0.01, 1.0)])
+        worst = rng.uniform(0.001, 0.5)
+        tenants.append(TenantReport(
+            tenant=f"m#{i}", model="eyecod", batch=rng.randrange(1, 8),
+            deadline_s=deadline, worst_latency_s=worst,
+            min_slack_s=None if deadline is None else deadline - worst,
+            missed=deadline is not None and deadline < worst,
+            events_active=rng.randrange(0, 9)))
+    scheduled = rng.randrange(1, 10)
+    total_wall = rng.uniform(0.0, 5.0)
+    return SimReport(
+        trace=f"wire:{rng.randrange(100)}",
+        mode=rng.choice(("warm", "cold")),
+        num_events=scheduled + rng.randrange(0, 3),
+        num_scheduled=scheduled,
+        deadline_miss_rate=rng.uniform(0.0, 1.0),
+        tenants=tuple(tenants),
+        mean_churn=rng.uniform(0.0, 1.0),
+        total_wall_s=total_wall, mean_wall_s=total_wall / scheduled,
+        total_segments=rng.randrange(0, 5000),
+        total_segments_recosted=rng.randrange(0, 5000),
+        memo_hits=rng.randrange(0, 10))
+
+
+class TestSimWireRoundTrips:
+    """Traces, trace specs and sim reports are wire documents too."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_trace_round_trip(self, seed):
+        from repro.sim import Trace
+
+        trace = _random_trace(random.Random(f"wire-trace-{seed}"))
+        assert Trace.from_json(trace.to_json()) == trace
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_trace_spec_round_trip(self, seed):
+        from repro.sim import TraceSpec
+
+        spec = _random_trace_spec(random.Random(f"wire-spec-{seed}"))
+        assert TraceSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_sim_report_round_trip(self, seed):
+        from repro.sim import SimReport
+
+        report = _random_sim_report(random.Random(f"wire-report-{seed}"))
+        assert SimReport.from_json(report.to_json()) == report
+
+    def test_envelope_kinds(self):
+        from repro.sim import (
+            SIM_REPORT_KIND,
+            TRACE_KIND,
+            TRACE_SPEC_KIND,
+        )
+        from repro.api.wire import WIRE_VERSION
+
+        rng = random.Random("wire-kinds")
+        for value, kind in ((_random_trace(rng), TRACE_KIND),
+                            (_random_trace_spec(rng), TRACE_SPEC_KIND),
+                            (_random_sim_report(rng), SIM_REPORT_KIND)):
+            data = value.to_dict()
+            assert data["kind"] == kind
+            assert data["version"] == WIRE_VERSION
+
+    def test_wrong_kind_rejected_everywhere(self):
+        from repro.sim import SimReport, Trace, TraceSpec
+
+        rng = random.Random("wire-cross")
+        trace = _random_trace(rng).to_dict()
+        spec = _random_trace_spec(rng).to_dict()
+        report = _random_sim_report(rng).to_dict()
+        with pytest.raises(ConfigError, match="kind"):
+            Trace.from_dict(spec)
+        with pytest.raises(ConfigError, match="kind"):
+            TraceSpec.from_dict(report)
+        with pytest.raises(ConfigError, match="kind"):
+            SimReport.from_dict(trace)
+
+    def test_malformed_documents_are_config_errors(self):
+        from repro.sim import SimReport, Trace, TraceSpec
+
+        with pytest.raises(ConfigError, match="trace"):
+            Trace.from_json("{not json")
+        with pytest.raises(ConfigError, match="trace spec"):
+            TraceSpec.from_json("{not json")
+        with pytest.raises(ConfigError, match="sim report"):
+            SimReport.from_json("{not json")
+        broken = _random_trace(random.Random("wire-broken")).to_dict()
+        broken["events"] = [{"tick": 0}]  # missing kind/tenant
+        with pytest.raises(ConfigError, match="malformed"):
+            Trace.from_dict(broken)

@@ -389,3 +389,110 @@ class TestPositiveInt:
             parser.parse_args(["schedule", "--jobs", "0"])
         err = capsys.readouterr().err
         assert "--jobs" in err and "positive integer" in err
+
+
+class TestSimulateCommand:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        from repro.sim import TenantEvent, Trace
+
+        events = sorted([
+            TenantEvent(tick=0, kind="arrive", tenant="eyecod#a",
+                        model="eyecod", batch=1, deadline_s=0.5),
+            TenantEvent(tick=1, kind="arrive", tenant="hand_sp#b",
+                        model="hand_sp", batch=1),
+            TenantEvent(tick=2, kind="depart", tenant="hand_sp#b"),
+            TenantEvent(tick=3, kind="depart", tenant="eyecod#a"),
+        ], key=TenantEvent.sort_key)
+        trace = Trace(name="sim:cli:test", events=tuple(events),
+                      use_case="arvr")
+        path = tmp_path / "trace.json"
+        path.write_text(trace.to_json())
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.family == "arrivals" and args.mode == "warm"
+        assert args.trace is None and args.spec is None
+        assert args.service is None
+
+    def test_replays_a_trace_file(self, capsys, trace_file):
+        assert main(["simulate", "--trace", str(trace_file),
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "trace sim:cli:test (warm replay)" in out
+        assert "3/4 events scheduled, 1 memo hits" in out
+        assert "eyecod#a" in out and "slack" in out
+
+    def test_json_format_is_the_wire_document(self, capsys, trace_file,
+                                              tmp_path):
+        from repro.sim import SimReport
+
+        output = tmp_path / "report.json"
+        assert main(["simulate", "--trace", str(trace_file), "--fast",
+                     "--mode", "cold", "--format", "json",
+                     "--output", str(output)]) == 0
+        report = SimReport.from_json(capsys.readouterr().out)
+        assert report.mode == "cold"
+        assert report.num_events == 4
+        assert SimReport.from_json(output.read_text()) == report
+
+    def test_spec_file_generates_the_trace(self, capsys, tmp_path):
+        from repro.sim import TraceSpec
+
+        spec = TraceSpec(family="arrivals", seed=1, tenants=2,
+                         horizon=6, use_case="arvr")
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["simulate", "--spec", str(path), "--fast"]) == 0
+        assert spec.trace_name() in capsys.readouterr().out
+
+    def test_trace_and_spec_are_exclusive(self, capsys, trace_file):
+        assert main(["simulate", "--trace", str(trace_file),
+                     "--spec", str(trace_file)]) == 1
+        assert "at most one" in capsys.readouterr().err
+
+    def test_malformed_trace_is_structured_in_json(self, capsys,
+                                                   tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"kind\": \"schedule\"}")
+        assert main(["simulate", "--trace", str(path),
+                     "--format", "json"]) == 1
+        err = json.loads(capsys.readouterr().out)
+        assert err["kind"] == "error"
+
+
+class TestSweepStatusCommand:
+    ARGS = ["sweep", "--scenarios", "1", "--nsplits", "1", "--fast"]
+
+    def test_all_pending_without_store(self, capsys):
+        assert main(self.ARGS + ["--status"]) == 0
+        out = capsys.readouterr().out
+        assert "0/1 cells finished" in out and "pending:" in out
+
+    def test_json_document(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--status", "--format", "json",
+                                 "--store",
+                                 str(tmp_path / "s.jsonl")]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "sweep_status"
+        assert doc["finished"] == 0 and doc["pending"] == 1
+        assert not doc["complete"]
+
+    def test_status_runs_nothing(self, capsys, tmp_path):
+        store = tmp_path / "s.jsonl"
+        assert main(self.ARGS + ["--status", "--store",
+                                 str(store)]) == 0
+        capsys.readouterr()
+        assert not store.exists() or store.read_text() == ""
+
+    def test_status_after_run_reports_complete(self, capsys, tmp_path):
+        store = tmp_path / "s.jsonl"
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--status", "--store",
+                                 str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 cells finished" in out
+        assert "campaign complete" in out

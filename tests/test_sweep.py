@@ -13,6 +13,7 @@ from repro.sweep import (
     run_requests,
     run_sweep,
     sweep_report,
+    sweep_status,
 )
 
 
@@ -280,3 +281,70 @@ class TestSweepReport:
         doc = sweep_report(outcome).to_document()
         assert doc["rows"][0]["error"]["code"] == "config_error"
         assert "config_error" in sweep_report(outcome).render()
+
+
+class TestSweepStatus:
+    def test_no_store_means_all_pending(self, tiny_spec):
+        status = sweep_status(tiny_spec, None)
+        assert status.total == tiny_spec.size == 4
+        assert status.finished == ()
+        assert len(status.pending) == 4
+        assert not status.complete and status.extra == 0
+
+    def test_partial_store_partitions_the_grid(self, tmp_path,
+                                               tiny_spec):
+        path = tmp_path / "s.jsonl"
+        requests = tiny_spec.requests()
+        run_requests(requests[:3], store=ResultStore(path))
+        status = sweep_status(tiny_spec, ResultStore(path))
+        assert [r.cache_key() for r in status.finished] \
+            == [r.cache_key() for r in requests[:3]]
+        assert [r.cache_key() for r in status.pending] \
+            == [r.cache_key() for r in requests[3:]]
+        assert not status.complete
+
+    def test_complete_campaign(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        run_sweep(tiny_spec, store=ResultStore(path))
+        status = sweep_status(tiny_spec, ResultStore(path))
+        assert status.complete and len(status.finished) == 4
+        assert "campaign complete" in status.render()
+
+    def test_extra_entries_counted_not_claimed(self, tmp_path,
+                                               tiny_spec, tiny_scenario,
+                                               small_budget):
+        path = tmp_path / "s.jsonl"
+        stranger = ScheduleRequest(
+            scenario_spec=scenario_spec(tiny_scenario), nsplits=3,
+            budget=small_budget)
+        assert stranger.cache_key() not in \
+            {r.cache_key() for r in tiny_spec.requests()}
+        run_requests([stranger], store=ResultStore(path))
+        status = sweep_status(tiny_spec, ResultStore(path))
+        assert status.extra == 1
+        assert len(status.pending) == 4
+        assert "unrelated store entries" in status.render()
+
+    def test_sees_another_writers_progress(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)  # opened before the other writer runs
+        run_requests(tiny_spec.requests()[:1], store=ResultStore(path))
+        status = sweep_status(tiny_spec, store)
+        assert len(status.finished) == 1  # refresh() picked it up
+
+    def test_document_shape(self, tmp_path, tiny_spec):
+        path = tmp_path / "s.jsonl"
+        run_requests(tiny_spec.requests()[:2], store=ResultStore(path))
+        doc = sweep_status(tiny_spec, ResultStore(path)).to_document()
+        assert doc["kind"] == "sweep_status"
+        assert doc["cells"] == 4 and doc["finished"] == 2
+        assert doc["pending"] == 2 and not doc["complete"]
+        assert [row["key"] for row in doc["pending_rows"]] \
+            == [r.cache_key() for r in tiny_spec.requests()[2:]]
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_render_lists_pending_cells(self, tiny_spec):
+        text = sweep_status(tiny_spec, None).render()
+        assert "0/4 cells finished" in text
+        assert text.count("pending:") == 4
+        assert "standalone" in text
