@@ -54,6 +54,7 @@ def _run_scar(ctx: PolicyContext, seg_search: str) -> PolicyOutcome:
         beam=request.beam,
         use_cache=request.use_eval_cache,
         cache=ctx.eval_cache,
+        eval_mode=ctx.effective_eval_mode() or "scalar",
     )
     result = scheduler.schedule(ctx.scenario)
     return PolicyOutcome(schedule=result.schedule, metrics=result.metrics,

@@ -50,6 +50,11 @@ class PolicyContext:
     — the simulation replay's event loop, see :mod:`repro.sim` — skip
     re-costing unchanged segments.  Policies that do not search ignore
     it.
+
+    ``default_eval_mode`` is the session's candidate-costing kernel
+    (``"scalar"`` / ``"vector"``), applied when the request leaves
+    ``eval_mode=None``; results are bit-identical across kernels, so it
+    only changes throughput.
     """
 
     request: "ScheduleRequest"
@@ -58,10 +63,15 @@ class PolicyContext:
     database: LayerCostDatabase
     default_backend: str | None = None
     eval_cache: "EvalCache | None" = None
+    default_eval_mode: str | None = None
 
     def effective_backend(self) -> str | None:
         """The backend this run should use (request wins over session)."""
         return self.request.backend or self.default_backend
+
+    def effective_eval_mode(self) -> str | None:
+        """The costing kernel this run should use (request wins)."""
+        return self.request.eval_mode or self.default_eval_mode
 
 
 @dataclass(frozen=True)

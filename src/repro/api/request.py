@@ -42,6 +42,7 @@ from repro.core.scar import SCARResult
 from repro.core.schedule import Schedule
 from repro.engine.backends import backend_names
 from repro.engine.candidates import assemble_candidate_points
+from repro.engine.tensorkernel import EVAL_MODES
 from repro.core.scoring import Objective, objective_by_name
 from repro.errors import ConfigError
 from repro.perf import PerfReport
@@ -93,6 +94,14 @@ class ScheduleRequest:
     is the paper's exhaustive search.  Both are bit-identity-preserving
     for ``backend`` and behaviour-changing for ``beam`` -- which is why
     both participate in :meth:`cache_key`.
+
+    ``eval_mode`` selects the candidate-costing kernel: ``"scalar"``
+    (the pure-Python Sec. III-E reference) or ``"vector"`` (the numpy
+    tensor kernel, bit-identical results, requires the optional numpy
+    extra).  ``None`` defers to the session default, falling back to
+    ``"scalar"``.  It participates in :meth:`cache_key` like every other
+    field, even though results are identical across modes -- the memo
+    never aliases requests that serialize differently.
     """
 
     scenario_id: int | None = None
@@ -111,6 +120,7 @@ class ScheduleRequest:
     jobs: int = 1
     backend: str | None = None
     beam: int | None = None
+    eval_mode: str | None = None
     use_eval_cache: bool = True
     memoize: bool = True
 
@@ -129,6 +139,10 @@ class ScheduleRequest:
         if self.beam is not None and self.beam < 1:
             raise ConfigError(
                 f"beam must be None or >= 1, got {self.beam}")
+        if self.eval_mode is not None and self.eval_mode not in EVAL_MODES:
+            raise ConfigError(
+                f"unknown eval_mode {self.eval_mode!r}; "
+                f"expected one of {EVAL_MODES}")
         objective_by_name(self.objective)  # validates the name
 
     def __hash__(self) -> int:
@@ -189,6 +203,7 @@ class ScheduleRequest:
             "jobs": self.jobs,
             "backend": self.backend,
             "beam": self.beam,
+            "eval_mode": self.eval_mode,
             "use_eval_cache": self.use_eval_cache,
             "memoize": self.memoize,
         }
@@ -215,6 +230,9 @@ class ScheduleRequest:
                 jobs=data["jobs"],
                 backend=data.get("backend"),
                 beam=data.get("beam"),
+                # .get: documents written before the vector kernel landed
+                # have no eval_mode field and mean the scalar default.
+                eval_mode=data.get("eval_mode"),
                 use_eval_cache=data["use_eval_cache"],
                 memoize=data["memoize"],
             )

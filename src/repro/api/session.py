@@ -42,6 +42,7 @@ from repro.api.wire import CandidatePoint
 from repro.core.evalcache import EvalCache
 from repro.dataflow.database import LayerCostDatabase
 from repro.engine.backends import backend_names
+from repro.engine.tensorkernel import EVAL_MODES, require_numpy
 from repro.errors import ConfigError
 from repro.mcm import templates
 from repro.perf import PerfReport, aggregate_reports
@@ -88,6 +89,14 @@ class Session:
     (which covers the *request's* ``backend`` field only) stays valid
     across session backends.
 
+    ``eval_mode`` is the analogous session default for the
+    candidate-costing kernel (``"scalar"`` / ``"vector"``, see
+    :mod:`repro.engine.tensorkernel`), applied when a request leaves
+    ``ScheduleRequest.eval_mode=None``.  Kernels are bit-identical by
+    contract, so the memo stays valid across session eval modes too;
+    ``"vector"`` fails fast at session construction when numpy is
+    missing.
+
     ``warm_caches=True`` keeps one long-lived
     :class:`~repro.core.evalcache.EvalCache` per (scenario, template)
     pair and injects it into every SCAR-family run, so repeated requests
@@ -104,6 +113,7 @@ class Session:
     def __init__(self, registry: SchedulerRegistry | None = None, *,
                  max_memo: int | None = None,
                  backend: str | None = None,
+                 eval_mode: str | None = None,
                  warm_caches: bool = False) -> None:
         if max_memo is not None and max_memo < 0:
             raise ConfigError(
@@ -112,10 +122,17 @@ class Session:
             raise ConfigError(
                 f"unknown backend {backend!r}; "
                 f"registered: {backend_names()}")
+        if eval_mode is not None and eval_mode not in EVAL_MODES:
+            raise ConfigError(
+                f"unknown eval_mode {eval_mode!r}; "
+                f"expected one of {EVAL_MODES}")
+        if eval_mode == "vector":
+            require_numpy()
         self.registry = registry if registry is not None \
             else DEFAULT_REGISTRY
         self.max_memo = max_memo
         self.backend = backend
+        self.eval_mode = eval_mode
         self.warm_caches = warm_caches
         self._memo: OrderedDict[str, ScheduleResult] = \
             OrderedDict()  # guarded by: _mutex
@@ -250,7 +267,8 @@ class Session:
         ctx = PolicyContext(request=request, scenario=scenario, mcm=mcm,
                             database=self._database(mcm.clock_hz),
                             default_backend=self.backend,
-                            eval_cache=self._warm_cache(request))
+                            eval_cache=self._warm_cache(request),
+                            default_eval_mode=self.eval_mode)
         outcome = self.registry.run(ctx)
         result = self._wrap(request, outcome)
         if result.perf is not None:
@@ -340,9 +358,9 @@ class Session:
         # (fork inherits any extra registrations either way).
         registry = None if self.registry is DEFAULT_REGISTRY \
             else self.registry
-        return ProcessPoolExecutor(max_workers=max_workers,
-                                   initializer=_batch_worker_init,
-                                   initargs=(registry, self.backend))
+        return ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_batch_worker_init,
+            initargs=(registry, self.backend, self.eval_mode))
 
     # -- reporting ---------------------------------------------------------
 
@@ -409,9 +427,11 @@ _WORKER_SESSION: Session | None = None
 
 
 def _batch_worker_init(registry: SchedulerRegistry | None,
-                       backend: str | None = None) -> None:
+                       backend: str | None = None,
+                       eval_mode: str | None = None) -> None:
     global _WORKER_SESSION
-    _WORKER_SESSION = Session(registry, backend=backend)
+    _WORKER_SESSION = Session(registry, backend=backend,
+                              eval_mode=eval_mode)
 
 
 def _batch_worker_run(request: ScheduleRequest) -> ScheduleResult:

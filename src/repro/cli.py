@@ -126,7 +126,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             workload, template=args.template,
             policy=args.policy, objective=args.objective,
             nsplits=config.nsplits, budget=config.budget, jobs=args.jobs,
-            backend=args.backend, beam=args.beam)
+            backend=args.backend, beam=args.beam,
+            eval_mode=args.eval_mode)
         result = Session().submit(request)
     except ReproError as exc:
         return _report_error(exc, args.format)
@@ -226,6 +227,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ("--nsplits", args.nsplits),
                 ("--backends", args.backends),
                 ("--beams", args.beams),
+                ("--eval-modes", args.eval_modes),
                 ("--fast", args.fast or None),
                 ("--jobs", args.jobs if args.jobs != 1 else None),
             ) if value]
@@ -258,6 +260,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 backends=tuple(args.backends) if args.backends
                 else (None,),
                 beams=tuple(args.beams) if args.beams else (None,),
+                eval_modes=tuple(args.eval_modes) if args.eval_modes
+                else (None,),
                 budget=config.budget, jobs=args.jobs)
         store = ResultStore(args.store) if args.store else None
         if args.status:
@@ -322,7 +326,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trace, mode=args.mode, template=args.template,
             policy=args.policy, objective=args.objective,
             nsplits=config.nsplits, budget=config.budget,
-            backend=args.backend, beam=args.beam, jobs=args.jobs,
+            backend=args.backend, beam=args.beam,
+            eval_mode=args.eval_mode, jobs=args.jobs,
             client=client)
         report = build_report(trace, args.mode, outcomes)
     except ReproError as exc:
@@ -386,7 +391,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     store = ResultStore(args.store) if args.store is not None else None
     service = SchedulerService(Session(max_memo=args.max_memo,
-                                       backend=args.backend),
+                                       backend=args.backend,
+                                       eval_mode=args.eval_mode),
                                workers=args.workers,
                                retain=args.retain,
                                job_backend=args.job_backend,
@@ -524,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="A,B,...",
                        help="engine execution backends (default: the "
                        "session default)")
+    sweep.add_argument("--eval-modes", type=_csv_strs, default=None,
+                       metavar="MODES",
+                       help="comma-separated candidate-costing kernels "
+                       "to sweep (scalar, vector; default scalar)")
     sweep.add_argument("--beams", type=_csv_ints, default=None,
                        metavar="K,L,...",
                        help="window-search beam widths (default: "
@@ -642,6 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "do not pick one (default: infer from each "
                        "request's --jobs; results are bit-identical "
                        "across backends)")
+    serve.add_argument("--eval-mode", default=None,
+                       choices=("scalar", "vector"),
+                       help="candidate-costing kernel for requests that "
+                       "do not pick one (default scalar; vector needs "
+                       "numpy, results are bit-identical)")
     serve.add_argument("--job-backend", default="process",
                        choices=("thread", "process"),
                        help="run each job's search on a process pool "
@@ -718,6 +733,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         "only the K best proxy-scored segmentation "
                         "combos (default: exhaustive search, the "
                         "paper's exact behaviour)")
+    parser.add_argument("--eval-mode", default=None,
+                        choices=("scalar", "vector"),
+                        help="candidate-costing kernel: the pure-Python "
+                        "scalar reference (default) or the numpy tensor "
+                        "kernel (bit-identical results, requires numpy)")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:

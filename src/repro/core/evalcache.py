@@ -58,6 +58,9 @@ SegmentKey = tuple
 #: service cannot grow per-run caches without bound.
 DEFAULT_MAX_ENTRIES = 65536
 
+#: Internal sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
 
 class EvalCache:
     """Hit-counting, LRU-bounded memo tables shared by one evaluator.
@@ -91,15 +94,20 @@ class EvalCache:
     def lookup(self, table: str, key: Any,
                factory: Callable[[], Any]) -> Any:
         """Fetch ``key`` from ``table``, computing via ``factory`` on miss."""
-        stats = self._stats(table)
+        stats = self.stats.get(table)
+        if stats is None:
+            stats = self._stats(table)
         if not self.enabled:
             stats.record(hit=False)
             return factory()
-        store = self._tables.setdefault(table, OrderedDict())
-        if key in store:
+        store = self._tables.get(table)
+        if store is None:
+            store = self._tables.setdefault(table, OrderedDict())
+        value = store.get(key, _MISSING)
+        if value is not _MISSING:
             stats.record(hit=True)
             store.move_to_end(key)  # LRU touch
-            return store[key]
+            return value
         stats.record(hit=False)
         value = factory()
         store[key] = value

@@ -32,6 +32,7 @@ Modeling decisions (see DESIGN.md):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.evalcache import EvalCache, segment_place_key, window_key
@@ -45,8 +46,13 @@ from repro.workloads.layer import Layer
 from repro.workloads.model import Scenario
 
 
+@functools.lru_cache(maxsize=None)
 def _divisors(value: int) -> tuple[int, ...]:
-    """Divisors of ``value`` in ascending order (O(sqrt n) enumeration)."""
+    """Divisors of ``value`` in ascending order (O(sqrt n) enumeration).
+
+    Memoized: every chain costing of a batch-``b`` model asks for the
+    same tuple, and distinct batch sizes per process number a handful.
+    """
     small: list[int] = []
     large: list[int] = []
     d = 1
@@ -84,12 +90,16 @@ class WindowMetrics:
     energy_j: float
     per_model: tuple[ModelWindowMetrics, ...]
 
+    @functools.cached_property
+    def _latency_by_model(self) -> dict[int, float]:
+        # cached_property writes instance.__dict__ directly, which works
+        # on frozen dataclasses; equality/hash still derive from the
+        # declared fields only.
+        return {entry.model: entry.latency_s for entry in self.per_model}
+
     def model_latency(self, model: int) -> float:
         """Latency of a model's chain in this window (0 if absent)."""
-        for entry in self.per_model:
-            if entry.model == model:
-                return entry.latency_s
-        return 0.0
+        return self._latency_by_model.get(model, 0.0)
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,7 @@ from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.candidates import assemble_candidate_points
 from repro.engine.evaluator import CandidateEvaluator, EvaluatorStats
 from repro.engine.provisioning import window_allocations, window_shares
+from repro.engine.tensorkernel import EVAL_MODES, TensorEvaluator, require_numpy
 from repro.engine.search import WindowSearch
 from repro.errors import SearchError
 from repro.mcm.package import MCM
@@ -107,6 +108,12 @@ class SCARScheduler:
     ``use_delta``            enable the chain-level delta-evaluation fast
                              path (bit-identical on or off; off is only
                              useful for measuring what it saves).
+    ``eval_mode``            candidate-costing kernel: ``"scalar"`` (the
+                             pure-Python Sec. III-E reference, default)
+                             or ``"vector"`` (the numpy tensor kernel of
+                             :mod:`repro.engine.tensorkernel`; requires
+                             the optional numpy dependency and produces
+                             bit-identical schedules and metrics).
     ``cache``                inject a caller-owned :class:`EvalCache`
                              instead of building a fresh one per
                              :meth:`schedule` call.  A long-lived front-end
@@ -131,7 +138,8 @@ class SCARScheduler:
                  prov_limit: int = 64, jobs: int = 1,
                  backend: str | None = None, beam: int | None = None,
                  use_cache: bool = True, use_delta: bool = True,
-                 cache: EvalCache | None = None) -> None:
+                 cache: EvalCache | None = None,
+                 eval_mode: str = "scalar") -> None:
         if packing not in ("greedy", "uniform"):
             raise SearchError(f"unknown packing mode {packing!r}")
         if provisioning not in ("uniform", "exhaustive"):
@@ -140,6 +148,11 @@ class SCARScheduler:
             raise SearchError(f"unknown seg_search mode {seg_search!r}")
         if jobs < 1:
             raise SearchError(f"jobs must be >= 1, got {jobs}")
+        if eval_mode not in EVAL_MODES:
+            raise SearchError(f"unknown eval_mode {eval_mode!r}; "
+                              f"expected one of {EVAL_MODES}")
+        if eval_mode == "vector":
+            require_numpy()
         self.mcm = mcm
         self.objective = objective or edp_objective()
         self.nsplits = nsplits
@@ -155,10 +168,27 @@ class SCARScheduler:
         self.use_cache = use_cache
         self.use_delta = use_delta
         self.cache = cache
+        self.eval_mode = eval_mode
         self.window_search = WindowSearch(beam=beam)
         self.backend: ExecutionBackend = resolve_backend(backend, jobs)
 
     # -- public API ------------------------------------------------------------
+
+    def make_evaluator(self, scenario: Scenario,
+                       cache: EvalCache | None = None) -> CandidateEvaluator:
+        """Build the candidate evaluator this scheduler is configured for.
+
+        Chooses the scalar reference kernel or the numpy tensor kernel
+        per ``eval_mode``; both honour ``use_delta`` and share the same
+        cache/stat channels.  Backends call this so worker processes
+        build the same kernel as the parent.
+        """
+        cls = TensorEvaluator if self.eval_mode == "vector" \
+            else CandidateEvaluator
+        if cache is None:
+            cache = EvalCache(enabled=self.use_cache)
+        return cls(scenario, self.mcm, self.database, cache=cache,
+                   delta=self.use_delta)
 
     def schedule(self, scenario: Scenario) -> SCARResult:
         """Run the full SCAR search on ``scenario``.
@@ -177,8 +207,7 @@ class SCARScheduler:
         # An injected cache outlives this run; snapshot its counters so
         # the perf report covers this run's lookups only.
         cache_before = cache.snapshot() if self.cache is not None else None
-        evaluator = CandidateEvaluator(scenario, self.mcm, self.database,
-                                       cache=cache, delta=self.use_delta)
+        evaluator = self.make_evaluator(scenario, cache=cache)
         expected_lat = expected_layer_latencies(scenario, self.mcm,
                                                 self.database)
         expected_en = expected_layer_energies(scenario, self.mcm,

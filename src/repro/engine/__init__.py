@@ -18,6 +18,9 @@ This package is the single place the scheduling search is *executed*:
   (expected shares + allocation enumeration) shared by every scheduler.
 * :mod:`~repro.engine.candidates` -- the one candidate-point assembly
   used by both the in-process and wire-side Pareto constructions.
+* :mod:`~repro.engine.tensorkernel` -- the optional numpy tensor kernel
+  (:class:`TensorEvaluator`, ``eval_mode="vector"``): bit-identical to
+  the scalar reference, an order of magnitude faster per chain costing.
 
 Policies (:mod:`repro.api.policies`) stay pure strategy objects: they
 describe *what* to search; this package owns *how* candidates are
@@ -40,18 +43,28 @@ from repro.engine.evaluator import (
 )
 from repro.engine.provisioning import window_allocations, window_shares
 from repro.engine.search import WindowSearch
+from repro.engine.tensorkernel import (
+    EVAL_MODES,
+    TensorEvaluator,
+    have_numpy,
+    require_numpy,
+)
 
 __all__ = [
     "CandidateEvaluator",
+    "EVAL_MODES",
     "EvaluatorStats",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "TensorEvaluator",
     "WindowSearch",
     "assemble_candidate_points",
     "backend_names",
     "chain_delta_key",
+    "have_numpy",
     "register_backend",
+    "require_numpy",
     "resolve_backend",
     "window_allocations",
     "window_shares",

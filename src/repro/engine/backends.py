@@ -34,7 +34,6 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Protocol, Sequence
 
-from repro.core.evalcache import EvalCache
 from repro.core.packing import WindowAssignment
 from repro.core.sched_engine import WindowCandidate
 from repro.engine.evaluator import CandidateEvaluator, EvaluatorStats
@@ -172,10 +171,7 @@ def _worker_init(scheduler: Any, scenario: Scenario,
     _WORKER["scheduler"] = scheduler
     _WORKER["scenario"] = scenario
     _WORKER["expected_lat"] = expected_lat
-    _WORKER["evaluator"] = CandidateEvaluator(
-        scenario, scheduler.mcm, scheduler.database,
-        cache=EvalCache(enabled=scheduler.use_cache),
-        delta=scheduler.use_delta)
+    _WORKER["evaluator"] = scheduler.make_evaluator(scenario)
 
 
 def _worker_run(task: Task) -> TaskOutcome:

@@ -77,7 +77,8 @@ class EvaluatorStats:
 
 
 def chain_delta_key(chain: tuple[Segment, ...],
-                    congestion: dict[tuple, float]) -> tuple:
+                    congestion: dict[tuple, float],
+                    structure: tuple | None = None) -> tuple:
     """Exact memo key of one chain's metrics inside a window.
 
     The chain cost model reads, besides the chain itself, only the
@@ -85,10 +86,13 @@ def chain_delta_key(chain: tuple[Segment, ...],
     of the head segment, each chiplet-to-chiplet hand-off, and the
     off-chip write-back of the tail.  Two windows whose remaining chains
     differ share this chain's metrics iff these factors coincide, so the
-    key is (chain structure, those factors in chain order).
+    key is (chain structure, those factors in chain order).  Callers
+    that already hold the chain's structure tuple (the evaluator
+    memoizes it per chain) can pass it to skip rebuilding it.
     """
-    structure = tuple((seg.model, seg.start, seg.stop, seg.node)
-                      for seg in chain)
+    if structure is None:
+        structure = tuple((seg.model, seg.start, seg.stop, seg.node)
+                          for seg in chain)
     factors = [congestion.get((None, chain[0].node), 1.0)]
     for pos in range(1, len(chain)):
         factors.append(congestion.get(
@@ -115,6 +119,10 @@ class CandidateEvaluator(ScheduleEvaluator):
         super().__init__(scenario, mcm, database, cache=cache)
         self.delta = delta
         self.stats = EvaluatorStats()
+        # Chains (tuples of frozen segments) recur across thousands of
+        # window placements; memoize their structure tuples so the delta
+        # key build does one dict probe instead of a tuple rebuild.
+        self._chain_structures: dict[tuple, tuple] = {}
 
     def _chain_metrics_cached(self, chain: tuple[Segment, ...],
                               congestion: dict[tuple, float]
@@ -127,5 +135,10 @@ class CandidateEvaluator(ScheduleEvaluator):
 
         if not self.delta:
             return recost()
+        structure = self._chain_structures.get(chain)
+        if structure is None:
+            structure = tuple((seg.model, seg.start, seg.stop, seg.node)
+                              for seg in chain)
+            self._chain_structures[chain] = structure
         return self.cache.lookup(
-            "chain", chain_delta_key(chain, congestion), recost)
+            "chain", chain_delta_key(chain, congestion, structure), recost)

@@ -9,6 +9,7 @@ memory interfaces on the sides of the outer chiplets").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import HardwareError
 from repro.mcm.chiplet import Chiplet
@@ -90,9 +91,14 @@ class MCM:
 
     # -- geometry / off-chip ------------------------------------------------
 
-    @property
+    @cached_property
     def io_nodes(self) -> tuple[int, ...]:
-        """Nodes carrying an off-chip memory interface (side columns)."""
+        """Nodes carrying an off-chip memory interface (side columns).
+
+        Cached (cached_property writes ``__dict__`` directly, which is
+        fine on a frozen dataclass): the package is immutable and the
+        traffic analyzer reads this on every off-chip flow.
+        """
         nodes = []
         for node in range(self.num_chiplets):
             _, col = self.topology.position(node)
@@ -100,14 +106,25 @@ class MCM:
                 nodes.append(node)
         return tuple(nodes)
 
+    @cached_property
+    def _io_table(self) -> tuple[tuple[int, int], ...]:
+        """Per-node ``(nearest io node, hops to it)``, computed once."""
+        table = []
+        for node in range(self.num_chiplets):
+            io = min(self.io_nodes,
+                     key=lambda io: (self.topology.hops(node, io), io))
+            table.append((io, self.topology.hops(node, io)))
+        return tuple(table)
+
     def io_hops(self, node: int) -> int:
         """Hops from ``node`` to its nearest off-chip interface."""
-        return min(self.topology.hops(node, io) for io in self.io_nodes)
+        self.topology._check(node)
+        return self._io_table[node][1]
 
     def nearest_io(self, node: int) -> int:
         """Nearest off-chip interface node (ties break to lowest id)."""
-        return min(self.io_nodes,
-                   key=lambda io: (self.topology.hops(node, io), io))
+        self.topology._check(node)
+        return self._io_table[node][0]
 
     def summary(self) -> str:
         """Human-readable one-paragraph description."""

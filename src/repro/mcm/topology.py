@@ -65,8 +65,9 @@ class Topology:
 
     # -- connectivity ----------------------------------------------------
 
+    @lru_cache(maxsize=None)
     def edges(self) -> tuple[Link, ...]:
-        """Undirected edge list (each edge once, low id first)."""
+        """Undirected edge list (each edge once, low id first; memoized)."""
         result: list[Link] = []
         for node in range(self.num_nodes):
             row, col = self.position(node)
@@ -79,8 +80,9 @@ class Topology:
                 result.append((node, node + self.cols + 1))
         return tuple(result)
 
+    @lru_cache(maxsize=None)
     def neighbors(self, node: int) -> tuple[int, ...]:
-        """Directly connected nodes, ascending."""
+        """Directly connected nodes, ascending (memoized)."""
         self._check(node)
         found = [b for a, b in self.edges() if a == node]
         found += [a for a, b in self.edges() if b == node]
@@ -88,11 +90,15 @@ class Topology:
 
     # -- routing ----------------------------------------------------------
 
+    @lru_cache(maxsize=None)
     def route(self, src: int, dst: int) -> tuple[Link, ...]:
         """Directed link sequence from ``src`` to ``dst``.
 
         Mesh uses dimension-ordered XY routing (X first, then Y) exactly as
         the paper adopts; triangular uses deterministic BFS shortest paths.
+        Memoized (topologies are frozen value objects and routes are pure
+        functions of them): the traffic analyzer asks for the same few
+        hundred routes millions of times per search.
         """
         self._check(src)
         self._check(dst)

@@ -151,6 +151,7 @@ def replay(trace: Trace, *, mode: str = "warm",
            objective: str = "edp", nsplits: int = 4,
            budget: SearchBudget | None = None,
            backend: str | None = None, beam: int | None = None,
+           eval_mode: str | None = None,
            jobs: int = 1, client=None) -> list[EventOutcome]:
     """Replay ``trace``, re-scheduling after every event.
 
@@ -178,7 +179,7 @@ def replay(trace: Trace, *, mode: str = "warm",
             scenario, template=template, policy=policy,
             objective=objective, nsplits=nsplits,
             budget=budget if budget is not None else SearchBudget(),
-            backend=backend, beam=beam, jobs=jobs)
+            backend=backend, beam=beam, eval_mode=eval_mode, jobs=jobs)
 
         wall_start = time.perf_counter()
         if client is not None:

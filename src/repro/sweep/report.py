@@ -86,6 +86,7 @@ class SweepReport:
                 "nsplits": request.nsplits,
                 "backend": request.backend,
                 "beam": request.beam,
+                "eval_mode": request.eval_mode,
                 "key": key,
             }
             if result is None:

@@ -41,10 +41,10 @@ class SweepSpec:
 
     ``scenarios`` entries are Table III ids (``int``) or inline scenario
     documents (``dict``, the :func:`repro.config.files.scenario_to_dict`
-    form).  Every other axis is a tuple of values to cross; ``backends``
-    and ``beams`` accept ``None`` entries (session-default backend /
-    exhaustive search).  ``budget``, ``jobs`` and ``use_eval_cache``
-    apply to every cell.
+    form).  Every other axis is a tuple of values to cross; ``backends``,
+    ``beams`` and ``eval_modes`` accept ``None`` entries (session-default
+    backend / exhaustive search / scalar costing kernel).  ``budget``,
+    ``jobs`` and ``use_eval_cache`` apply to every cell.
     """
 
     scenarios: tuple[int | dict, ...]
@@ -54,13 +54,14 @@ class SweepSpec:
     nsplits: tuple[int, ...] = (4,)
     backends: tuple[str | None, ...] = (None,)
     beams: tuple[int | None, ...] = (None,)
+    eval_modes: tuple[str | None, ...] = (None,)
     budget: SearchBudget = field(default_factory=SearchBudget)
     jobs: int = 1
     use_eval_cache: bool = True
 
     def __post_init__(self) -> None:
         for axis in ("scenarios", "templates", "policies", "objectives",
-                     "nsplits", "backends", "beams"):
+                     "nsplits", "backends", "beams", "eval_modes"):
             values = getattr(self, axis)
             if isinstance(values, (str, int, dict)) \
                     or not isinstance(values, Sequence):
@@ -86,7 +87,7 @@ class SweepSpec:
         return (len(self.scenarios) * len(self.templates)
                 * len(self.policies) * len(self.objectives)
                 * len(self.nsplits) * len(self.backends)
-                * len(self.beams))
+                * len(self.beams) * len(self.eval_modes))
 
     def requests(self) -> tuple[ScheduleRequest, ...]:
         """The grid's cells, in deterministic scenario-major order.
@@ -108,15 +109,19 @@ class SweepSpec:
                         for nsplits in self.nsplits:
                             for backend in self.backends:
                                 for beam in self.beams:
-                                    yield ScheduleRequest(
-                                        **workload, template=template,
-                                        policy=policy,
-                                        objective=objective,
-                                        nsplits=nsplits,
-                                        backend=backend, beam=beam,
-                                        budget=self.budget,
-                                        jobs=self.jobs,
-                                        use_eval_cache=self.use_eval_cache)
+                                    for mode in self.eval_modes:
+                                        yield ScheduleRequest(
+                                            **workload,
+                                            template=template,
+                                            policy=policy,
+                                            objective=objective,
+                                            nsplits=nsplits,
+                                            backend=backend, beam=beam,
+                                            eval_mode=mode,
+                                            budget=self.budget,
+                                            jobs=self.jobs,
+                                            use_eval_cache=(
+                                                self.use_eval_cache))
 
     # -- wire format -------------------------------------------------------
 
@@ -131,6 +136,7 @@ class SweepSpec:
             "nsplits": list(self.nsplits),
             "backends": list(self.backends),
             "beams": list(self.beams),
+            "eval_modes": list(self.eval_modes),
             "budget": asdict(self.budget),
             "jobs": self.jobs,
             "use_eval_cache": self.use_eval_cache,
@@ -149,6 +155,9 @@ class SweepSpec:
                 nsplits=tuple(data.get("nsplits", (4,))),
                 backends=tuple(data.get("backends", (None,))),
                 beams=tuple(data.get("beams", (None,))),
+                # .get: specs written before the vector kernel landed
+                # have no eval_modes axis and mean the scalar default.
+                eval_modes=tuple(data.get("eval_modes", (None,))),
                 budget=SearchBudget(**data["budget"])
                 if data.get("budget") is not None else SearchBudget(),
                 jobs=data.get("jobs", 1),

@@ -496,3 +496,60 @@ class TestSweepStatusCommand:
         out = capsys.readouterr().out
         assert "1/1 cells finished" in out
         assert "campaign complete" in out
+
+
+class TestEvalModeFlags:
+    """--eval-mode / --eval-modes plumb the costing kernel through."""
+
+    def test_parser_defaults_to_unset(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.eval_mode is None
+        args = build_parser().parse_args(["simulate"])
+        assert args.eval_mode is None
+        args = build_parser().parse_args(["serve"])
+        assert args.eval_mode is None
+        args = build_parser().parse_args(["sweep"])
+        assert args.eval_modes is None
+
+    def test_unknown_mode_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--eval-mode",
+                                       "turbo"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_schedule_vector_matches_scalar(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.api import ScheduleResult
+
+        def run(mode):
+            assert main(["schedule", "--scenario", "1", "--fast",
+                         "--eval-mode", mode, "--format", "json"]) == 0
+            return ScheduleResult.from_json(capsys.readouterr().out)
+
+        vector, scalar = run("vector"), run("scalar")
+        assert vector.request.eval_mode == "vector"
+        assert scalar.request.eval_mode == "scalar"
+        # Same bits everywhere but the echoed request/perf.
+        assert vector.schedule == scalar.schedule
+        assert vector.metrics == scalar.metrics
+        assert vector.num_evaluated == scalar.num_evaluated
+
+    def test_sweep_crosses_eval_modes(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["sweep", "--scenarios", "1", "--fast",
+                     "--eval-modes", "scalar,vector",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "sweep_report"
+        assert doc["cells"] == 2 and doc["computed"] == 2
+        modes = {row["eval_mode"] for row in doc["rows"]}
+        assert modes == {"scalar", "vector"}
+
+    def test_spec_rejects_eval_modes_flag(self, capsys, tmp_path):
+        from repro.sweep import SweepSpec
+
+        path = tmp_path / "spec.json"
+        path.write_text(SweepSpec(scenarios=(1,)).to_json())
+        assert main(["sweep", "--spec", str(path),
+                     "--eval-modes", "vector"]) == 1
+        assert "--eval-modes" in capsys.readouterr().err
