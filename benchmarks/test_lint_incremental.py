@@ -1,0 +1,79 @@
+"""Bench: incremental `scar lint` -- warm-cache re-lint speedup.
+
+Lints a copy of the shipped ``src/`` tree (copied to a temp dir so the
+bench never mutates the repo), then touches one near-leaf file
+(``repro/cli.py``) and re-lints warm.  The artifact gates two
+invariants CI relies on:
+
+* the shipped tree lints **clean** with every checker enabled;
+* a one-file touch re-analyzes only that file plus its direct
+  importers, making the warm re-lint at least 5x faster than the cold
+  run (the whole point of the content-hash cache).
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _copy_tree(target: Path) -> Path:
+    """Copy everything the lint needs: sources, golden, docs."""
+    root = target / "repo"
+    root.mkdir()
+    shutil.copytree(REPO_ROOT / "src", root / "src")
+    shutil.copytree(REPO_ROOT / "analysis", root / "analysis")
+    for doc in ("README.md", "DESIGN.md"):
+        shutil.copy(REPO_ROOT / doc, root / doc)
+    return root
+
+
+def test_lint_incremental(benchmark, bench_artifact, tmp_path):
+    root = _copy_tree(tmp_path)
+    cache = root / "lint-cache.jsonl"
+
+    start = time.perf_counter()
+    cold = lint_paths([root / "src"], root=root, cache_path=cache)
+    cold_s = time.perf_counter() - start
+    assert cold.clean, [str(f) for f in cold.findings]
+    assert cold.cache_hits == 0
+
+    # Touch one near-leaf file: only it and its direct importers
+    # (repro.__main__) may re-analyze on the warm run.
+    touched = root / "src" / "repro" / "cli.py"
+    touched.write_text(touched.read_text(encoding="utf-8")
+                       + "\n# bench touch\n", encoding="utf-8")
+
+    start = time.perf_counter()
+    warm = lint_paths([root / "src"], root=root, cache_path=cache)
+    warm_s = time.perf_counter() - start
+    assert warm.clean, [str(f) for f in warm.findings]
+    assert warm.cache_misses <= 4, warm.cache_misses
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    assert speedup >= 5.0, (cold_s, warm_s)
+
+    # Steady state: nothing changed, every per-file result reused.
+    steady = benchmark.pedantic(
+        lambda: lint_paths([root / "src"], root=root,
+                           cache_path=cache),
+        rounds=1, iterations=1)
+    assert steady.clean
+    assert steady.cache_misses == 0
+
+    files = steady.cache_hits
+    print(f"\nlint incremental: {files} files, cold {cold_s:.2f}s, "
+          f"one-touch warm {warm_s:.2f}s ({speedup:.1f}x)")
+    bench_artifact("lint", {
+        "files": files,
+        "findings": 0,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "warm_misses": warm.cache_misses,
+        "warm_hits": warm.cache_hits,
+    })

@@ -1,7 +1,9 @@
 """Project-invariant static analysis (the ``scar lint`` engine).
 
-Six PRs of review-hardening distilled into a CI gate: a small
-``ast``-visitor framework (:mod:`repro.analysis.core`) plus five
+Nine PRs of review-hardening distilled into a CI gate: an
+``ast``-visitor framework (:mod:`repro.analysis.core`), a
+whole-program model (:mod:`repro.analysis.graph`: import graph,
+symbol table, call graph, lock-acquisition graph) and ten
 project-specific checkers guarding the conventions the codebase's
 correctness actually rests on:
 
@@ -18,11 +20,28 @@ SCAR004   error codes: the repro.errors / _ERROR_CODES / http mapping
           stays closed and ordered (:mod:`repro.analysis.errormap`)
 SCAR005   registry drift: registered policy/backend names stay CLI-
           reachable and documented (:mod:`repro.analysis.registries`)
+SCAR006   lock-order deadlocks: the inter-procedural lock-acquisition
+          graph stays acyclic (:mod:`repro.analysis.deadlock`)
+SCAR007   RNG/wall-clock taint: nondeterministic values never flow
+          into engine/sweep/sim/workloads call sites
+          (:mod:`repro.analysis.taint`)
+SCAR008   wire-schema drift: emitted/parsed fields per kind match the
+          golden ``analysis/schemas.json``
+          (:mod:`repro.analysis.schema`)
+SCAR009   dead symbols: unused ``__all__`` exports, unreachable
+          registrations, orphan suppressions
+          (:mod:`repro.analysis.deadsyms`)
+SCAR010   hot-path allocation: no per-iteration allocations in the
+          innermost loops of ``# scar: hot`` modules
+          (:mod:`repro.analysis.hotpath`)
 ========  =================================================================
 
 Findings suppress per line with ``# scar: noqa[CODE]``; reports render
-as text or as the ``kind: "lint_report"`` wire document.  See DESIGN.md
-"Static analysis" for the full contract and how to add a checker.
+as text, GitHub annotations or the ``kind: "lint_report"`` wire
+document.  Per-file results cache incrementally by content hash and
+the per-file phase parallelizes across processes (``scar lint --jobs
+N --cache PATH``).  See DESIGN.md "Static analysis" for the full
+contract and how to add a checker.
 """
 
 from repro.analysis.core import (
@@ -37,12 +56,23 @@ from repro.analysis.core import (
 
 # Importing the checker modules registers them (same pattern as the
 # built-in policies in repro.api.policies).
+from repro.analysis import deadlock as _deadlock  # noqa: F401
+from repro.analysis import deadsyms as _deadsyms  # noqa: F401
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import envelope as _envelope  # noqa: F401
 from repro.analysis import errormap as _errormap  # noqa: F401
+from repro.analysis import hotpath as _hotpath  # noqa: F401
 from repro.analysis import locks as _locks  # noqa: F401
 from repro.analysis import registries as _registries  # noqa: F401
-from repro.analysis.report import REPORT_KIND, LintReport
+from repro.analysis import schema as _schema  # noqa: F401
+from repro.analysis import taint as _taint  # noqa: F401
+from repro.analysis.cache import LintCache
+from repro.analysis.graph import FileSummary, ProgramModel, summarize
+from repro.analysis.report import (
+    REPORT_KIND,
+    LintReport,
+    strip_nonidentity,
+)
 from repro.analysis.runner import (
     iter_python_files,
     lint_paths,
@@ -51,8 +81,11 @@ from repro.analysis.runner import (
 
 __all__ = [
     "Checker",
+    "FileSummary",
     "Finding",
+    "LintCache",
     "LintReport",
+    "ProgramModel",
     "REPORT_KIND",
     "SourceFile",
     "build_checkers",
@@ -62,4 +95,6 @@ __all__ = [
     "module_name_for",
     "register_checker",
     "run_checkers",
+    "strip_nonidentity",
+    "summarize",
 ]

@@ -1,0 +1,102 @@
+"""Content-hash-keyed incremental lint cache (JSONL, append-only).
+
+Same durability idiom as :class:`repro.sweep.store.ResultStore`: one
+JSON record per line, appended and flushed as produced, torn final
+lines tolerated (a crash mid-write loses at most the entry being
+written), duplicate paths resolved last-wins on load.  A cache file
+can therefore be carried across runs (and across CI jobs via
+``actions/cache``) without ever being rewritten in place.
+
+Each record captures everything the per-file phase produced for one
+source file at one content hash: the :class:`~repro.analysis.graph.\
+FileSummary` (which the whole-program phase reads), the per-file
+findings, and the checker codes that ran.  A record is *valid* for
+reuse when the file's current hash matches and the per-file checker
+selection is unchanged; import-graph invalidation (a changed module
+dirties its dependents too) is the runner's job -- the cache itself
+is a dumb log.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.analysis.graph import SUMMARY_VERSION
+from repro.errors import AnalysisError
+
+#: Record-format version; bumped with FileSummary's shape.
+CACHE_FORMAT = SUMMARY_VERSION
+
+
+class LintCache:
+    """Append-only per-file lint results keyed by content hash."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: TextIO | None = None
+        self.loaded = 0
+        self.corrupt_lines = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Latest valid record per file path (last-wins)."""
+        entries: dict[str, dict[str, Any]] = {}
+        self.loaded = 0
+        self.corrupt_lines = 0
+        if not self.path.is_file():
+            return entries
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(
+                f"cannot read lint cache {self.path}: {exc}") from exc
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail or foreign garbage: skip, never fail.
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict) \
+                    or record.get("format") != CACHE_FORMAT \
+                    or "path" not in record:
+                self.corrupt_lines += 1
+                continue
+            entries[record["path"]] = record
+            self.loaded += 1
+        return entries
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, entry: dict[str, Any]) -> None:
+        """Append one per-file record (flushed per line)."""
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError(
+                    f"cannot open lint cache {self.path}: "
+                    f"{exc}") from exc
+        payload = dict(entry)
+        payload["format"] = CACHE_FORMAT
+        self._handle.write(
+            json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "LintCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -23,7 +23,10 @@ code and register with :func:`register_checker`; the runner
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -32,6 +35,17 @@ from repro.errors import AnalysisError, ConfigError
 
 #: ``# scar: noqa[SCAR001]`` / ``# scar: noqa[SCAR001,SCAR005]``.
 _NOQA_RE = re.compile(r"#\s*scar:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]")
+
+#: A noqa *directive*: the whole comment is the suppression.  Orphan
+#: detection (SCAR009) only counts these, so prose that merely mentions
+#: the syntax (docs comments, fixture strings) never reads as a
+#: suppression that suppresses nothing.
+_NOQA_DIRECTIVE_RE = re.compile(
+    r"^#\s*scar:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]\s*$")
+
+#: ``# scar: hot`` file pragma: opt this module into the hot-path
+#: allocation lint (SCAR010).  Trailing prose is allowed.
+_HOT_PRAGMA_RE = re.compile(r"^#\s*scar:\s*hot\b")
 
 #: Stable checker-code shape; the registry enforces it.
 _CODE_RE = re.compile(r"^SCAR\d{3}$")
@@ -98,6 +112,8 @@ class SourceFile:
             else module_name_for(path)
         self.lines = text.splitlines()
         self._tree: ast.Module | None = None
+        self._hash: str | None = None
+        self._comments: dict[int, str] | None = None
 
     @classmethod
     def load(cls, path: str | Path) -> "SourceFile":
@@ -128,6 +144,35 @@ class SourceFile:
         end = getattr(node, "end_lineno", node.lineno)
         return "\n".join(self.lines[node.lineno - 1:end])
 
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the source text (the incremental-cache key)."""
+        if self._hash is None:
+            self._hash = hashlib.sha256(
+                self.text.encode("utf-8")).hexdigest()
+        return self._hash
+
+    def comments(self) -> dict[int, str]:
+        """Real ``#`` comment tokens by line (tokenize-backed).
+
+        Unlike a per-line regex, this never mistakes a ``#`` inside a
+        string literal (fixture snippets, docstrings) for a comment.
+        Token errors (the file may be unparsable) degrade to an empty
+        map -- the parse error is reported elsewhere.
+        """
+        if self._comments is None:
+            found: dict[int, str] = {}
+            try:
+                for token in tokenize.generate_tokens(
+                        io.StringIO(self.text).readline):
+                    if token.type == tokenize.COMMENT:
+                        found[token.start[0]] = token.string
+            except (tokenize.TokenError, IndentationError,
+                    SyntaxError, ValueError):
+                found = {}
+            self._comments = found
+        return self._comments
+
     def noqa_codes(self, lineno: int) -> frozenset[str]:
         """Checker codes suppressed on ``lineno`` (empty = none)."""
         match = _NOQA_RE.search(self.line(lineno))
@@ -136,6 +181,27 @@ class SourceFile:
         return frozenset(code.strip()
                          for code in match.group("codes").split(",")
                          if code.strip())
+
+    def noqa_directives(self) -> dict[int, frozenset[str]]:
+        """Lines carrying a whole-comment noqa directive (for SCAR009).
+
+        Only comment tokens that *are* the directive count; a comment
+        that merely mentions the syntax is prose, not a suppression.
+        """
+        directives: dict[int, frozenset[str]] = {}
+        for lineno, comment in self.comments().items():
+            match = _NOQA_DIRECTIVE_RE.match(comment)
+            if match is not None:
+                directives[lineno] = frozenset(
+                    code.strip()
+                    for code in match.group("codes").split(",")
+                    if code.strip())
+        return directives
+
+    def has_hot_pragma(self) -> bool:
+        """True when a ``# scar: hot`` comment opts this file in."""
+        return any(_HOT_PRAGMA_RE.match(comment)
+                   for comment in self.comments().values())
 
     def finding(self, code: str, message: str,
                 node: ast.AST | None = None, *,
@@ -151,9 +217,16 @@ class Checker:
     """Base class of one invariant's analysis pass.
 
     Subclasses set ``code``/``name``/``description`` and implement
-    :meth:`check` (per file) and/or :meth:`check_project` (once over
-    the whole set).  ``applies_to`` scopes per-file checkers to the
-    modules whose invariant they guard.
+    :meth:`check` (per file), :meth:`check_program` (once over the
+    whole-program model -- see :mod:`repro.analysis.graph`) or the
+    legacy :meth:`check_project` (once over the materialized file
+    set).  ``applies_to`` scopes per-file checkers to the modules
+    whose invariant they guard.
+
+    Per-file results are cacheable by content hash; program passes run
+    every lint but read the (cached) per-file summaries, so prefer
+    ``check_program`` over ``check_project`` -- the latter forces every
+    file to be re-parsed even on warm incremental runs.
     """
 
     code: str = ""
@@ -166,9 +239,25 @@ class Checker:
     def check(self, source: SourceFile) -> Iterable[Finding]:
         return ()
 
+    def check_program(self, program: Any) -> Iterable[Finding]:
+        """Whole-program pass over a :class:`~repro.analysis.graph.\
+ProgramModel` (summaries always available, sources parsed lazily)."""
+        return ()
+
     def check_project(self, sources: Sequence[SourceFile],
                       root: Path) -> Iterable[Finding]:
         return ()
+
+    @classmethod
+    def is_per_file(cls) -> bool:
+        """True when this checker implements the per-file pass."""
+        return cls.check is not Checker.check
+
+    @classmethod
+    def is_program(cls) -> bool:
+        """True when this checker implements a whole-program pass."""
+        return (cls.check_program is not Checker.check_program
+                or cls.check_project is not Checker.check_project)
 
 
 _CHECKERS: dict[str, type[Checker]] = {}

@@ -19,15 +19,17 @@ on the client.  Concretely, over the three modules:
   ``_send_error_doc`` is resolvable by clients through
   ``_CODE_TO_EXCEPTION``.
 
-This checker runs once per lint (a project checker) and only when the
-errors/wire modules are both in the checked set.
+This checker runs once per lint as a whole-program pass, and only
+when the errors/wire modules are both in the checked set.  It is a
+model citizen of the incremental engine: it pulls exactly the three
+modules it needs from the program model's lazy source loader, so a
+warm run parses at most those three files for it.
 """
 
 from __future__ import annotations
 
 import ast
-from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator
 
 from repro.analysis.core import (
     Checker,
@@ -41,14 +43,6 @@ _WIRE_MODULE = "repro.api.wire"
 _HTTP_MODULE = "repro.service.http"
 
 _BASE_EXCEPTION = "ReproError"
-
-
-def _find(sources: Sequence[SourceFile],
-          module: str) -> SourceFile | None:
-    for source in sources:
-        if source.module == module:
-            return source
-    return None
 
 
 def _assign_value(tree: ast.Module, name: str) \
@@ -134,14 +128,13 @@ class ErrorCodeChecker(Checker):
                    "(_ERROR_CODES, most-derived first), no orphan "
                    "codes, and http.py only emits resolvable codes")
 
-    def check_project(self, sources: Sequence[SourceFile],
-                      root: Path) -> Iterable[Finding]:
-        errors_src = _find(sources, _ERRORS_MODULE)
-        wire_src = _find(sources, _WIRE_MODULE)
+    def check_program(self, program: Any) -> Iterable[Finding]:
+        errors_src = program.source(_ERRORS_MODULE)
+        wire_src = program.source(_WIRE_MODULE)
         if errors_src is None or wire_src is None:
             return ()
         findings = list(self._check_wire(errors_src, wire_src))
-        http_src = _find(sources, _HTTP_MODULE)
+        http_src = program.source(_HTTP_MODULE)
         if http_src is not None:
             findings.extend(self._check_http(errors_src, wire_src,
                                              http_src))

@@ -16,6 +16,12 @@ registry's choices call must appear in ``repro.cli``.  Documentation
 coverage is literal: each registered name must appear in README.md or
 DESIGN.md under the lint root.
 
+Since PR 10 this runs as a whole-program pass: the registrations come
+from the cached :class:`~repro.analysis.graph.FileSummary` facts (the
+same extraction :mod:`repro.analysis.deadsyms` consumes for SCAR009's
+reachability half) and the CLI is read as raw text, so a warm
+incremental lint re-parses nothing for it.
+
 Both halves degrade gracefully on partial lints: without ``repro.cli``
 in the checked set the CLI check is skipped, and without README/DESIGN
 under the root the docs check is skipped.
@@ -23,45 +29,22 @@ under the root the docs check is skipped.
 
 from __future__ import annotations
 
-import ast
 import re
-from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable
 
-from repro.analysis.core import (
-    Checker,
-    Finding,
-    SourceFile,
-    register_checker,
-)
+from repro.analysis.core import Checker, Finding, register_checker
+from repro.analysis.graph import REGISTRARS
 
-#: registrar call -> (registry label, the dynamic-choices expression
-#: the CLI must contain for names of this registry to be selectable).
-_REGISTRARS: dict[str, tuple[str, str]] = {
-    "register_policy": ("policy", "DEFAULT_REGISTRY.names()"),
-    "register_backend": ("backend", "backend_names()"),
-    "register_topology": ("topology", "topology_names()"),
+#: registry label -> the dynamic-choices expression the CLI must
+#: contain for names of this registry to be selectable.
+_CHOICES_EXPRS: dict[str, str] = {
+    "policy": "DEFAULT_REGISTRY.names()",
+    "backend": "backend_names()",
+    "topology": "topology_names()",
 }
 
 _CLI_MODULE = "repro.cli"
 _DOC_FILES = ("README.md", "DESIGN.md")
-
-
-def _registrations(sources: Sequence[SourceFile]) \
-        -> Iterator[tuple[str, str, SourceFile, ast.Call]]:
-    """Every ``register_*("name")`` call: (registrar, name, file, node)."""
-    for source in sources:
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            registrar = func.id if isinstance(func, ast.Name) else (
-                func.attr if isinstance(func, ast.Attribute) else None)
-            if registrar not in _REGISTRARS:
-                continue
-            if node.args and isinstance(node.args[0], ast.Constant) \
-                    and isinstance(node.args[0].value, str):
-                yield registrar, node.args[0].value, source, node
 
 
 @register_checker
@@ -72,27 +55,43 @@ class RegistryDriftChecker(Checker):
                    "@register_topology name is reachable from the CLI "
                    "choices and mentioned in README.md/DESIGN.md")
 
-    def check_project(self, sources: Sequence[SourceFile],
-                      root: Path) -> Iterable[Finding]:
-        cli = next((source for source in sources
-                    if source.module == _CLI_MODULE), None)
+    def check_program(self, program: Any) -> Iterable[Finding]:
+        cli_text = program.text(_CLI_MODULE) \
+            if _CLI_MODULE in program.modules else None
         docs = "\n".join(
-            (root / name).read_text(encoding="utf-8")
-            for name in _DOC_FILES if (root / name).is_file())
+            (program.root / name).read_text(encoding="utf-8")
+            for name in _DOC_FILES
+            if (program.root / name).is_file())
         findings: list[Finding] = []
-        for registrar, name, source, node in _registrations(sources):
-            label, choices_expr = _REGISTRARS[registrar]
-            if cli is not None and choices_expr not in cli.text:
-                findings.append(source.finding(
-                    self.code,
-                    f"{label} {name!r} is not reachable from the CLI: "
-                    f"repro.cli never builds choices from "
-                    f"{choices_expr}", node))
-            if docs and not re.search(
-                    rf"(?<![A-Za-z0-9_]){re.escape(name)}"
-                    rf"(?![A-Za-z0-9_])", docs):
-                findings.append(source.finding(
-                    self.code,
-                    f"{label} {name!r} is registered but never "
-                    f"mentioned in {' / '.join(_DOC_FILES)}", node))
+        for module in sorted(program.summaries):
+            summary = program.summaries[module]
+            for registration in summary.registrations:
+                label = REGISTRARS.get(registration["registrar"])
+                if label is None:
+                    continue
+                name = registration["name"]
+                choices_expr = _CHOICES_EXPRS[label]
+                if cli_text is not None \
+                        and choices_expr not in cli_text:
+                    findings.append(Finding(
+                        code=self.code,
+                        message=(
+                            f"{label} {name!r} is not reachable from "
+                            f"the CLI: repro.cli never builds choices "
+                            f"from {choices_expr}"),
+                        path=summary.path,
+                        line=registration["line"],
+                        col=registration["col"]))
+                if docs and not re.search(
+                        rf"(?<![A-Za-z0-9_]){re.escape(name)}"
+                        rf"(?![A-Za-z0-9_])", docs):
+                    findings.append(Finding(
+                        code=self.code,
+                        message=(
+                            f"{label} {name!r} is registered but "
+                            f"never mentioned in "
+                            f"{' / '.join(_DOC_FILES)}"),
+                        path=summary.path,
+                        line=registration["line"],
+                        col=registration["col"]))
         return findings

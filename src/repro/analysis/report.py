@@ -30,12 +30,29 @@ REPORT_KIND = "lint_report"
 
 @dataclass(frozen=True)
 class LintReport:
-    """Outcome of one lint run (``kind: "lint_report"`` on the wire)."""
+    """Outcome of one lint run (``kind: "lint_report"`` on the wire).
+
+    Version 2 of the document adds the run's performance facts:
+    per-checker wall time (``timings``), incremental-cache hits and
+    misses (``cache``), and the worker count (``jobs``).  They are
+    observability fields, not identity --
+    :func:`strip_nonidentity` zeroes them so two runs of the same
+    tree compare byte-identical regardless of cache warmth or
+    parallelism.
+    """
 
     findings: tuple[Finding, ...] = ()
     suppressed: tuple[Finding, ...] = ()
     checked_files: int = 0
     codes: tuple[str, ...] = field(default_factory=tuple)
+    # Run-performance fields are excluded from equality, the same
+    # convention as ScheduleResult.perf: the *identity* of a lint run
+    # is what was checked and what was found, never how fast.
+    timings: dict[str, float] = field(default_factory=dict,
+                                      compare=False)
+    cache_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
+    jobs: int = field(default=1, compare=False)
 
     @property
     def clean(self) -> bool:
@@ -66,6 +83,20 @@ class LintReport:
         lines.append(self.summary_line())
         return "\n".join(lines)
 
+    def stats_lines(self) -> list[str]:
+        """Human-readable run stats (``scar lint --stats``)."""
+        total = self.cache_hits + self.cache_misses
+        rate = (100.0 * self.cache_hits / total) if total else 0.0
+        lines = [f"cache: {self.cache_hits} hit"
+                 f"{'s' if self.cache_hits != 1 else ''}, "
+                 f"{self.cache_misses} miss"
+                 f"{'es' if self.cache_misses != 1 else ''} "
+                 f"({rate:.0f}% hit rate), jobs: {self.jobs}"]
+        for code in self.codes:
+            lines.append(
+                f"  {code}: {self.timings.get(code, 0.0) * 1e3:.1f} ms")
+        return lines
+
     # -- wire format -------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -79,12 +110,18 @@ class LintReport:
                          for finding in self.findings],
             "suppressed": [finding.to_dict()
                            for finding in self.suppressed],
+            "timings": {code: self.timings.get(code, 0.0)
+                        for code in self.codes},
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
+            "jobs": self.jobs,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "LintReport":
         check_envelope(data, REPORT_KIND)
         try:
+            cache = data.get("cache", {})
             return cls(
                 findings=tuple(Finding.from_dict(entry)
                                for entry in data["findings"]),
@@ -92,6 +129,10 @@ class LintReport:
                                  for entry in data["suppressed"]),
                 checked_files=data["checked_files"],
                 codes=tuple(data["codes"]),
+                timings=dict(data.get("timings", {})),
+                cache_hits=cache.get("hits", 0),
+                cache_misses=cache.get("misses", 0),
+                jobs=data.get("jobs", 1),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigError(f"malformed lint report: {exc}") from exc
@@ -102,3 +143,19 @@ class LintReport:
     @classmethod
     def from_json(cls, text: str) -> "LintReport":
         return cls.from_dict(loads_document(text, "lint report"))
+
+
+def strip_nonidentity(document: dict[str, Any]) -> dict[str, Any]:
+    """A copy of a ``lint_report`` document without run-performance
+    fields, for byte-identity comparisons (same convention as
+    ``repro.sim.metrics.strip_nonidentity``): per-checker timings are
+    zeroed, cache hit/miss counters and the worker count reset.  The
+    *identity* of a lint run -- what was checked and what was found --
+    is everything that remains.
+    """
+    stripped = dict(document)
+    stripped["timings"] = {code: 0.0
+                           for code in document.get("timings", {})}
+    stripped["cache"] = {"hits": 0, "misses": 0}
+    stripped["jobs"] = 0
+    return stripped

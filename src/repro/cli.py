@@ -360,16 +360,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         paths = ["src"] if Path("src").is_dir() else ["."]
     try:
         report = lint_paths(paths, select=args.select,
-                            ignore=args.ignore)
+                            ignore=args.ignore, jobs=args.jobs,
+                            cache_path=args.cache,
+                            update_schemas=args.update_schemas)
     except ReproError as exc:
         # Usage/config failures (unknown code, unreadable file) exit 2
         # so CI can tell "findings" (1) from "lint could not run".
         _report_error(exc, args.format)
         return 2
+    if args.output:
+        from repro.config import save_json
+
+        try:
+            save_json(report.to_dict(), args.output)
+        except OSError as exc:
+            # Same contract as `scar schedule --output`: report the
+            # write failure as an error document, never a traceback.
+            return _report_error(exc, args.format)
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "github":
+        # GitHub Actions workflow-command annotations: one ::error
+        # line per finding, pinned to file/line/col in the PR diff.
+        for finding in report.findings:
+            print(f"::error file={finding.path},line={finding.line},"
+                  f"col={finding.col},title={finding.code}::"
+                  f"{finding.message}")
+        print(report.summary_line())
     else:
         print(report.render())
+        if args.output:
+            print(f"lint report written to {args.output}")
+    if args.stats:
+        for line in report.stats_lines():
+            print(line)
     return 0 if report.clean else 1
 
 
@@ -432,9 +456,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="scar",
         description="SCAR reproduction: regenerate paper experiments.")
+    parser.add_argument("--version", action="version",
+                        version=f"scar {__version__}")
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list available experiments")
@@ -624,9 +652,29 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="CODES",
                       help="skip these checker codes")
     lint.add_argument("--format", default="text",
-                      choices=("text", "json"),
-                      help="output format: one finding per line, or "
-                      "the lint_report JSON wire document")
+                      choices=("text", "json", "github"),
+                      help="output format: one finding per line, the "
+                      "lint_report JSON wire document, or GitHub "
+                      "Actions ::error annotations")
+    lint.add_argument("--jobs", type=_positive_int, default=1,
+                      metavar="N",
+                      help="per-file analysis worker processes "
+                      "(default: 1)")
+    lint.add_argument("--cache", default=None, metavar="PATH",
+                      help="incremental per-file result cache (JSONL, "
+                      "append-only); warm runs re-analyze only "
+                      "changed files plus their import-graph "
+                      "dependents")
+    lint.add_argument("--output", default=None,
+                      help="write the lint_report JSON document here")
+    lint.add_argument("--stats", action="store_true",
+                      help="print per-checker wall time and the "
+                      "cache hit rate after the report")
+    lint.add_argument("--update-schemas", action="store_true",
+                      help="regenerate the SCAR008 golden "
+                      "analysis/schemas.json from the current tree "
+                      "before checking (wire changes must land with "
+                      "this golden update)")
 
     serve = sub.add_parser("serve",
                            help="run the HTTP job-scheduling service")

@@ -43,6 +43,7 @@ degrades every lookup to a recomputation (used by the property tests to
 prove cached == uncached).
 """
 
+# scar: hot -- allocation-linted kernel module (SCAR010)
 from __future__ import annotations
 
 from collections import OrderedDict

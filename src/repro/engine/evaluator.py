@@ -25,6 +25,7 @@ accepts a :class:`CandidateEvaluator` -- it *is* one, plus the fast path
 and the counters.
 """
 
+# scar: hot -- allocation-linted kernel module (SCAR010)
 from __future__ import annotations
 
 from dataclasses import dataclass

@@ -53,6 +53,7 @@ numpy installed; ``eval_mode="vector"`` without numpy raises
 through the service).
 """
 
+# scar: hot -- allocation-linted kernel module (SCAR010)
 from __future__ import annotations
 
 from repro.core.evalcache import EvalCache
@@ -395,8 +396,12 @@ class TensorEvaluator(CandidateEvaluator):
         congestion: dict[tuple, float] = {}
         for entries in per_chain:
             for key, route, offchip in entries:
-                factor = (float(max(link_load[link] for link in route))
-                          if route else 1.0)
+                heaviest = 0
+                for link in route:
+                    load = link_load[link]
+                    if load > heaviest:
+                        heaviest = load
+                factor = float(heaviest) if route else 1.0
                 if offchip and offchip_f > factor:
                     factor = offchip_f
                 current = congestion.get(key, 1.0)

@@ -31,7 +31,8 @@ from repro.errors import AnalysisError
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-ALL_CODES = ("SCAR001", "SCAR002", "SCAR003", "SCAR004", "SCAR005")
+ALL_CODES = ("SCAR001", "SCAR002", "SCAR003", "SCAR004", "SCAR005",
+             "SCAR006", "SCAR007", "SCAR008", "SCAR009", "SCAR010")
 
 
 def _source(text: str, module: str = "fixture",
